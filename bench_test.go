@@ -1,0 +1,348 @@
+// Package repro's root benchmark harness: one benchmark per reproduced
+// figure (each iteration regenerates a reduced-size version of the
+// figure's table) plus micro-benchmarks of the core primitives and
+// ablation benches for the design choices called out in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/blend"
+	"repro/internal/chunk"
+	"repro/internal/dataset"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/kvstore"
+	"repro/internal/model"
+	"repro/internal/qamodel"
+	"repro/internal/retrieval"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// ---- Figure regenerators ------------------------------------------------
+
+func BenchmarkFig02QualityVsChunks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig02(3) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig06AttentionDeviation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig06() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig07DeviationDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig07() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig08LayerCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig08() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig10Pipelining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig10() == nil || experiments.Fig10b() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig12QualityAndTTFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig12(3) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig13RAGBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig13(3) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig14ServingSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig14(300) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig15Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig15() == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig16RatioSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig16(2) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+func BenchmarkFig17StorageDevices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.Fig17(3) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// ---- Core-primitive micro-benchmarks -------------------------------------
+
+// benchInput builds one fused RAG request against the constructed model.
+func benchInput(b *testing.B) (blend.Input, *qamodel.Vocab) {
+	b.Helper()
+	m, v := qamodel.Build()
+	cfg := dataset.MusiqueConfig()
+	cfg.Cases = 1
+	cfg.ChunksPerCase = 6
+	cfg.FactsPerChunk = 6
+	ds := dataset.Generate(v, cfg)
+	c := ds.Cases[0]
+	in := blend.Input{Model: m, SuffixTokens: c.Query}
+	for _, ch := range c.Chunks {
+		in.ChunkTokens = append(in.ChunkTokens, ch)
+		in.Chunks = append(in.Chunks, m.Prefill(ch, 0, false).Cache)
+	}
+	return in, v
+}
+
+func BenchmarkFusorBlend(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{
+			Mode: blend.ModeBlend, RecomputeRatio: 0.15,
+			SelectionLayer: qamodel.SelectionLayer,
+		})
+	}
+}
+
+func BenchmarkFusorFullRecompute(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{Mode: blend.ModeFullRecompute})
+	}
+}
+
+func BenchmarkFusorFullReuse(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{Mode: blend.ModeFullReuse})
+	}
+}
+
+func BenchmarkPrefill512(b *testing.B) {
+	m := model.NewRandom(model.Mistral7BSim, 1)
+	g := tensor.NewRNG(2)
+	toks := make([]int, 512)
+	for i := range toks {
+		toks[i] = g.Intn(m.Cfg.Vocab)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Prefill(toks, 0, false)
+	}
+}
+
+func BenchmarkKVCacheSerialise(b *testing.B) {
+	m := model.NewRandom(model.Mistral7BSim, 1)
+	c := m.Prefill(make([]int, 128), 0, false).Cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := c.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+func BenchmarkKVStoreZipf(b *testing.B) {
+	s := kvstore.New(device.NVMeSSD, 1<<30, kvstore.LRU)
+	defer s.Close()
+	g := tensor.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := chunk.Hash("bench", []int{sim.Zipf(g, 4096, 0.8)})
+		if _, ok := s.Get(id); !ok {
+			s.Put(id, kvstore.Bytes(1<<20)) //nolint:errcheck
+		}
+	}
+}
+
+func BenchmarkRetrievalTopK(b *testing.B) {
+	_, v := qamodel.Build()
+	cfg := dataset.MusiqueConfig()
+	cfg.Cases = 1
+	cfg.ChunksPerCase = 64
+	ds := dataset.Generate(v, cfg)
+	r := retrieval.NewRetriever(128, ds.Cases[0].ChunkTexts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.TopK(ds.Cases[0].QueryText, 6)
+	}
+}
+
+func BenchmarkServingStep(b *testing.B) {
+	cfg := serve.Config{
+		Spec: timing.Mistral7B, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Device: device.NVMeSSD, ChunkPool: 500, ChunksPerRequest: 6,
+		ChunkTokens: 512, QueryTokens: 32, Skew: 0.8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serve.Run(cfg, 0.5, 200, 50, int64(i))
+	}
+}
+
+// ---- Ablation benches (DESIGN.md design-choice list) ---------------------
+
+func BenchmarkAblationGradualFilterOn(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{
+			Mode: blend.ModeBlend, RecomputeRatio: 0.15,
+			SelectionLayer: qamodel.SelectionLayer,
+		})
+	}
+}
+
+func BenchmarkAblationGradualFilterOff(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{
+			Mode: blend.ModeBlend, RecomputeRatio: 0.15,
+			SelectionLayer: qamodel.SelectionLayer, DisableGradualFilter: true,
+		})
+	}
+}
+
+func BenchmarkAblationRandomSelection(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{
+			Mode: blend.ModeBlend, RecomputeRatio: 0.15,
+			SelectionLayer:  qamodel.SelectionLayer,
+			RandomSelection: true, RandomSeed: int64(i),
+		})
+	}
+}
+
+func BenchmarkAblationNoReposition(b *testing.B) {
+	in, _ := benchInput(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blend.Fuse(in, blend.Options{Mode: blend.ModeFullReuse, DisableReposition: true})
+	}
+}
+
+func BenchmarkAblationEvictionLRU(b *testing.B) {
+	benchEviction(b, kvstore.LRU)
+}
+
+func BenchmarkAblationEvictionFIFO(b *testing.B) {
+	benchEviction(b, kvstore.FIFO)
+}
+
+func benchEviction(b *testing.B, p kvstore.Policy) {
+	b.Helper()
+	s := kvstore.New(device.NVMeSSD, 64<<20, p)
+	defer s.Close()
+	g := tensor.NewRNG(7)
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := chunk.Hash("bench", []int{sim.Zipf(g, 1024, 0.9)})
+		if _, ok := s.Get(id); ok {
+			hits++
+		} else {
+			s.Put(id, kvstore.Bytes(1<<20)) //nolint:errcheck
+		}
+	}
+	b.ReportMetric(float64(hits)/float64(b.N), "hit-rate")
+}
+
+func BenchmarkAblationPipeliningOn(b *testing.B) {
+	spec := timing.Yi34B
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += spec.TTFT(0.15, 4096, device.NVMeSSD, true)
+	}
+	_ = sink
+}
+
+func BenchmarkAblationPipeliningOff(b *testing.B) {
+	spec := timing.Yi34B
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += spec.TTFT(0.15, 4096, device.NVMeSSD, false)
+	}
+	_ = sink
+}
+
+func BenchmarkEnginePipelined(b *testing.B) {
+	benchEngine(b, true)
+}
+
+func BenchmarkEngineSequential(b *testing.B) {
+	benchEngine(b, false)
+}
+
+func benchEngine(b *testing.B, pipelined bool) {
+	b.Helper()
+	m, v := qamodel.Build()
+	in, _ := benchInput(b)
+	_ = v
+	req := engine.Request{
+		Chunks: in.Chunks, ChunkTokens: in.ChunkTokens, SuffixTokens: in.SuffixTokens,
+	}
+	cfg := engine.Config{
+		Model: m, Device: device.NVMeSSD, RecomputeRatio: 0.15,
+		SelectionLayer: qamodel.SelectionLayer, Pipelined: pipelined,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Run(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

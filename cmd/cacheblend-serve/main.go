@@ -1,0 +1,87 @@
+// Command cacheblend-serve runs the discrete-event serving simulation for
+// one configuration and prints a TTFT/throughput profile across request
+// rates — an interactive version of the Figure 14 experiment.
+//
+// Usage:
+//
+//	cacheblend-serve -model Mistral-7B -scheme cacheblend -rates 0.2,0.5,1,2
+//	cacheblend-serve -model Yi-34B -scheme prefix-caching -capacity 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/device"
+	"repro/internal/serve"
+	"repro/internal/timing"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "Mistral-7B", "served model (Mistral-7B, Yi-34B, Llama-70B)")
+		scheme    = flag.String("scheme", "cacheblend", "serving scheme (cacheblend, full-recompute, prefix-caching, full-kv-reuse)")
+		ratesCSV  = flag.String("rates", "", "comma-separated request rates (req/s); default spans the model's capacity")
+		devName   = flag.String("device", "nvme-ssd", "KV storage device")
+		ratio     = flag.Float64("ratio", 0.15, "CacheBlend recompute ratio")
+		capacity  = flag.Int("capacity", 0, "store capacity in contexts (0 = unbounded)")
+		pool      = flag.Int("pool", 1500, "distinct chunks in the corpus")
+		chunks    = flag.Int("chunks", 6, "chunks per request")
+		chunkTok  = flag.Int("chunk-tokens", 512, "tokens per chunk")
+		n         = flag.Int("n", 1500, "requests per rate point")
+		seed      = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	spec, err := timing.SpecByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := device.ByName(*devName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := serve.Config{
+		Spec:             spec,
+		Scheme:           baselines.Scheme(*scheme),
+		Ratio:            *ratio,
+		Device:           dev,
+		ChunkPool:        *pool,
+		ChunksPerRequest: *chunks,
+		ChunkTokens:      *chunkTok,
+		QueryTokens:      32,
+		Skew:             0.8,
+	}
+	if *capacity > 0 {
+		cfg.StoreCapacity = int64(*capacity) * spec.KVBytes(*chunks**chunkTok)
+	}
+
+	var rates []float64
+	if *ratesCSV == "" {
+		cap0 := 1 / spec.FullPrefillTTFT(*chunks**chunkTok+32)
+		rates = []float64{cap0 * 0.25, cap0 * 0.5, cap0, cap0 * 2, cap0 * 4}
+	} else {
+		for _, part := range strings.Split(*ratesCSV, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad rate %q: %v", part, err))
+			}
+			rates = append(rates, r)
+		}
+	}
+
+	fmt.Printf("model=%s scheme=%s device=%s pool=%d chunks=%d×%d tokens\n",
+		spec.Name, cfg.Scheme, dev.Name, *pool, *chunks, *chunkTok)
+	for _, res := range serve.RateSweep(cfg, rates, *n, *n/3, *seed) {
+		fmt.Println(res)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cacheblend-serve:", err)
+	os.Exit(1)
+}

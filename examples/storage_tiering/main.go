@@ -1,0 +1,43 @@
+// Storage tiering: the loading controller in action (§5.1, Figure 10).
+// For each served model it reports which storage tiers can hide the
+// quality-floor recompute behind loading, what recompute ratio each tier
+// affords, and the controller's cheapest-viable plan.
+//
+//	go run ./examples/storage_tiering
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+func main() {
+	const L = 4096 // context length (tokens)
+
+	for _, spec := range timing.Specs() {
+		ctrl := controller.Controller{Spec: spec}
+		fmt.Printf("%s — 4K-token context, KV cache %.0f MB, full prefill %.2fs\n",
+			spec.Name, float64(spec.KVBytes(L))/1e6, spec.Prefill(L))
+		fmt.Printf("  %-14s %14s %14s %12s %10s\n",
+			"device", "load/layer", "afforded r", "15% free?", "$/GB/mo")
+		// "15% free?" asks whether per-layer loading fully hides the
+		// quality-floor recompute (Figure 10(a) direction); the plan picks
+		// the cheapest device whose loading hides *under* the recompute
+		// (Figure 10(b) direction).
+		comp15 := spec.RecomputeLayer(0.15, L)
+		for _, d := range device.Tiers() {
+			load := spec.LoadLayer(L, d)
+			hides := "no"
+			if load >= comp15 {
+				hides = "yes"
+			}
+			fmt.Printf("  %-14s %12.2fms %13.0f%% %12s %10.2f\n",
+				d.Name, load*1000, ctrl.PickRatio(L, d)*100, hides, d.CostPerGBMonth)
+		}
+		plan := ctrl.PlanRequest(device.Tiers(), L)
+		fmt.Printf("  controller plan: %s\n\n", plan)
+	}
+}

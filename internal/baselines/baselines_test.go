@@ -1,0 +1,163 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/qamodel"
+	"repro/internal/retrieval"
+)
+
+// evalQuality answers every case of ds with scheme s over top-k retrieved
+// chunks and returns the mean F1.
+func evalQuality(t *testing.T, e *Evaluator, ds *dataset.Dataset, s Scheme, k int) float64 {
+	t.Helper()
+	var scores []float64
+	for _, c := range ds.Cases {
+		r := retrieval.NewRetriever(128, c.ChunkTexts)
+		ids := r.TopK(c.QueryText, k)
+		var chunks [][]int
+		for _, id := range ids {
+			chunks = append(chunks, c.Chunks[id])
+		}
+		run := e.Answer(chunks, c.Query, s)
+		scores = append(scores, metrics.F1(strings.Fields(run.Pred), strings.Fields(c.Answer)))
+	}
+	return metrics.Mean(scores)
+}
+
+func smallDataset(cases int, seed int64) *dataset.Dataset {
+	_, v := qamodel.Build()
+	cfg := dataset.MusiqueConfig()
+	cfg.Cases = cases
+	cfg.ChunksPerCase = 8
+	cfg.FactsPerChunk = 5
+	cfg.Seed = seed
+	return dataset.Generate(v, cfg)
+}
+
+func TestSchemeQualityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quality ordering needs full model runs")
+	}
+	m, v := qamodel.Build()
+	e := NewEvaluator(m, v)
+	ds := smallDataset(12, 7)
+
+	q := map[Scheme]float64{}
+	for _, s := range Schemes() {
+		q[s] = evalQuality(t, e, ds, s, 5)
+	}
+	t.Logf("quality: %v", q)
+
+	if q[FullRecompute] < 0.5 {
+		t.Fatalf("full recompute F1 %.2f too low — the model/dataset is broken", q[FullRecompute])
+	}
+	if q[PrefixCaching] != q[FullRecompute] {
+		t.Fatalf("prefix caching (%.2f) must match full recompute (%.2f) exactly",
+			q[PrefixCaching], q[FullRecompute])
+	}
+	if q[CacheBlend] < q[FullRecompute]-0.1 {
+		t.Fatalf("cacheblend F1 %.2f drops more than 0.1 below full recompute %.2f",
+			q[CacheBlend], q[FullRecompute])
+	}
+	if q[FullKVReuse] > q[CacheBlend]-0.15 {
+		t.Fatalf("full reuse %.2f should trail cacheblend %.2f by a wide margin",
+			q[FullKVReuse], q[CacheBlend])
+	}
+	if q[MapRerank] > q[CacheBlend] {
+		t.Fatalf("maprerank %.2f should not beat cacheblend %.2f", q[MapRerank], q[CacheBlend])
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	m, v := qamodel.Build()
+	e := NewEvaluator(m, v)
+	ds := smallDataset(1, 9)
+	c := ds.Cases[0]
+	var chunks [][]int
+	for _, ch := range c.Chunks[:4] {
+		chunks = append(chunks, ch)
+	}
+
+	full := e.Answer(chunks, c.Query, FullRecompute)
+	reuse := e.Answer(chunks, c.Query, FullKVReuse)
+	bl := e.Answer(chunks, c.Query, CacheBlend)
+	if !(reuse.ComputedTokenLayers < bl.ComputedTokenLayers &&
+		bl.ComputedTokenLayers < full.ComputedTokenLayers) {
+		t.Fatalf("compute ordering wrong: reuse %d, blend %d, full %d",
+			reuse.ComputedTokenLayers, bl.ComputedTokenLayers, full.ComputedTokenLayers)
+	}
+	if full.LLMCalls != 1 {
+		t.Fatal("single-shot schemes use one call")
+	}
+	mr := e.Answer(chunks, c.Query, MapReduce)
+	if mr.LLMCalls != len(chunks)+1 {
+		t.Fatalf("mapreduce calls = %d want %d", mr.LLMCalls, len(chunks)+1)
+	}
+	rr := e.Answer(chunks, c.Query, MapRerank)
+	if rr.LLMCalls != len(chunks) {
+		t.Fatalf("maprerank calls = %d want %d", rr.LLMCalls, len(chunks))
+	}
+	if full.ContextTokens <= 0 || full.ContextTokens != bl.ContextTokens {
+		t.Fatal("context accounting wrong")
+	}
+}
+
+func TestChunkKVMemoised(t *testing.T) {
+	m, v := qamodel.Build()
+	e := NewEvaluator(m, v)
+	toks := v.Fact(v.Entities[0], v.RelB[0], v.Entities[1])
+	a := e.chunkKV(toks)
+	b := e.chunkKV(toks)
+	if a != b {
+		t.Fatal("chunk KV must be memoised by content hash")
+	}
+}
+
+func TestUnknownSchemePanics(t *testing.T) {
+	m, v := qamodel.Build()
+	e := NewEvaluator(m, v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Answer(nil, nil, Scheme("bogus"))
+}
+
+func TestExtractFacts(t *testing.T) {
+	_, v := qamodel.Build()
+	c := append(append([]int{v.Topics[0], v.Period},
+		v.Fact(v.Entities[0], v.RelB[0], v.Entities[1])...),
+		v.ValueHalf(v.Entities[2], 1)...)
+	facts := extractFacts(v, c)
+	if len(facts) != 2 {
+		t.Fatalf("want 2 facts, got %d", len(facts))
+	}
+	if facts[0][1] != v.RelB[0] || facts[1][1] != v.Fills {
+		t.Fatal("fact parsing misaligned")
+	}
+}
+
+func TestMapRerankAnswersColocatedCase(t *testing.T) {
+	// A chunk containing the entire answer path must be answerable by the
+	// per-chunk scheme, and its confidence must beat junk chunks.
+	m, v := qamodel.Build()
+	e := NewEvaluator(m, v)
+	qent, bridge, ans := v.Entities[0], v.Entities[1], v.Entities[12]
+	relA, relB := v.RelA[0], v.RelB[0]
+	colocated := append([]int{v.Topics[0], v.Period},
+		append(v.Fact(bridge, relA, qent), v.Fact(ans, relB, bridge)...)...)
+	junk1 := append([]int{v.Topics[1], v.Period},
+		v.Fact(v.Entities[13], v.RelB[1], v.Entities[2])...)
+	junk2 := append([]int{v.Topics[2], v.Period},
+		v.Fact(v.Entities[3], v.RelA[1], v.Entities[4])...)
+	query := v.QueryTokens(relA, qent, relB)
+	run := e.Answer([][]int{junk1, colocated, junk2}, query, MapRerank)
+	if run.Pred != v.Name(ans) {
+		t.Fatalf("maprerank answered %q want %q", run.Pred, v.Name(ans))
+	}
+}

@@ -1,0 +1,400 @@
+package blend
+
+import (
+	"testing"
+
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+var testCfg = model.Config{
+	Name: "blend-test", Layers: 6, Heads: 4, KVHeads: 2, HeadDim: 8,
+	FFNDim: 32, Vocab: 64, RotaryDims: 8, RopeBase: 10000, Norm: model.NormRMS, Eps: 1e-5,
+}
+
+// makeInput precomputes nChunks chunk caches of chunkLen tokens plus a
+// suffix, mimicking a RAG request.
+func makeInput(t *testing.T, m *model.Model, nChunks, chunkLen, suffixLen int, seed int64) Input {
+	t.Helper()
+	g := tensor.NewRNG(seed)
+	in := Input{Model: m}
+	for c := 0; c < nChunks; c++ {
+		toks := make([]int, chunkLen)
+		for i := range toks {
+			toks[i] = g.Intn(m.Cfg.Vocab)
+		}
+		in.ChunkTokens = append(in.ChunkTokens, toks)
+		in.Chunks = append(in.Chunks, m.Prefill(toks, 0, false).Cache)
+	}
+	suffix := make([]int, suffixLen)
+	for i := range suffix {
+		suffix[i] = g.Intn(m.Cfg.Vocab)
+	}
+	in.SuffixTokens = suffix
+	return in
+}
+
+func fullTokens(in Input) []int {
+	var toks []int
+	for _, ct := range in.ChunkTokens {
+		toks = append(toks, ct...)
+	}
+	return append(toks, in.SuffixTokens...)
+}
+
+func suffixAttnDeviation(t *testing.T, m *model.Model, res *Result, ref *model.PrefillResult) float64 {
+	t.Helper()
+	var sum float64
+	for li := range res.Attn {
+		refSuffix := tensor.New(res.Attn[li].Rows, res.Attn[li].Cols)
+		for r := 0; r < refSuffix.Rows; r++ {
+			copy(refSuffix.Row(r), ref.Attn[li].Row(res.SuffixStart+r))
+		}
+		sum += kvcache.AttentionDeviation(res.Attn[li], refSuffix)
+	}
+	return sum / float64(len(res.Attn))
+}
+
+func TestBlendRatioOneEqualsFullPrefill(t *testing.T) {
+	m := model.NewRandom(testCfg, 1)
+	in := makeInput(t, m, 3, 10, 5, 2)
+	ref := m.Prefill(fullTokens(in), 0, false)
+
+	res := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 1.0})
+	for li := 0; li < testCfg.Layers; li++ {
+		if tensor.MaxAbsDiff(res.Cache.K[li].Data, ref.Cache.K[li].Data) > 1e-4 {
+			t.Fatalf("layer %d keys differ at ratio 1.0", li)
+		}
+		if tensor.MaxAbsDiff(res.Cache.V[li].Data, ref.Cache.V[li].Data) > 1e-4 {
+			t.Fatalf("layer %d values differ at ratio 1.0", li)
+		}
+	}
+	for r := 0; r < len(in.SuffixTokens); r++ {
+		if tensor.MaxAbsDiff(res.Hidden.Row(r), ref.Hidden.Row(res.SuffixStart+r)) > 1e-4 {
+			t.Fatalf("suffix hidden row %d differs at ratio 1.0", r)
+		}
+	}
+}
+
+func TestFullRecomputeModeEqualsPrefill(t *testing.T) {
+	m := model.NewRandom(testCfg, 3)
+	in := makeInput(t, m, 2, 8, 4, 4)
+	ref := m.Prefill(fullTokens(in), 0, false)
+	res := Fuse(in, Options{Mode: ModeFullRecompute})
+	for li := 0; li < testCfg.Layers; li++ {
+		if tensor.MaxAbsDiff(res.Cache.K[li].Data, ref.Cache.K[li].Data) != 0 {
+			t.Fatalf("layer %d keys differ", li)
+		}
+	}
+	for r := 0; r < len(in.SuffixTokens); r++ {
+		if tensor.MaxAbsDiff(res.Hidden.Row(r), ref.Hidden.Row(res.SuffixStart+r)) != 0 {
+			t.Fatal("full-recompute hidden differs from prefill")
+		}
+	}
+}
+
+func TestFullReuseSingleChunkIsExact(t *testing.T) {
+	// With a single chunk the "reused" cache is a true prefix cache, so
+	// full KV reuse must match full prefill exactly (§3.2).
+	m := model.NewRandom(testCfg, 5)
+	in := makeInput(t, m, 1, 12, 4, 6)
+	ref := m.Prefill(fullTokens(in), 0, false)
+	res := Fuse(in, Options{Mode: ModeFullReuse})
+	for r := 0; r < len(in.SuffixTokens); r++ {
+		if tensor.MaxAbsDiff(res.Hidden.Row(r), ref.Hidden.Row(res.SuffixStart+r)) > 1e-4 {
+			t.Fatal("single-chunk full reuse should equal full prefill")
+		}
+	}
+}
+
+func TestFullReuseMultiChunkDeviates(t *testing.T) {
+	// With several chunks, ignoring cross-attention must show up as
+	// non-trivial divergence in the suffix hidden states (§3.3).
+	m := model.NewRandom(testCfg, 7)
+	in := makeInput(t, m, 3, 10, 5, 8)
+	ref := m.Prefill(fullTokens(in), 0, false)
+	res := Fuse(in, Options{Mode: ModeFullReuse})
+	var diff float64
+	for r := 0; r < len(in.SuffixTokens); r++ {
+		diff += tensor.L2Diff(res.Hidden.Row(r), ref.Hidden.Row(res.SuffixStart+r))
+	}
+	if diff < 1e-3 {
+		t.Fatalf("multi-chunk full reuse suspiciously close to full prefill (diff=%g)", diff)
+	}
+}
+
+func TestLayerZeroKVMatchesLoaded(t *testing.T) {
+	// The positional-recovery claim: after RoPE re-rotation, the loaded
+	// layer-0 KV equals freshly recomputed layer-0 KV, because layer-0
+	// K/V depend only on embeddings and positions.
+	m := model.NewRandom(testCfg, 9)
+	in := makeInput(t, m, 3, 10, 5, 10)
+	ref := m.Prefill(fullTokens(in), 0, false)
+	res := Fuse(in, Options{Mode: ModeFullReuse}) // context rows untouched
+	ctx := res.SuffixStart
+	for j := 0; j < ctx; j++ {
+		if tensor.L2Diff(res.Cache.RowK(0, j), ref.Cache.RowK(0, j)) > 1e-3 {
+			t.Fatalf("token %d layer-0 loaded K differs from full prefill", j)
+		}
+		if tensor.L2Diff(res.Cache.RowV(0, j), ref.Cache.RowV(0, j)) > 1e-3 {
+			t.Fatalf("token %d layer-0 loaded V differs from full prefill", j)
+		}
+	}
+}
+
+func TestAttentionDeviationDecreasesWithRatio(t *testing.T) {
+	// Figure 6's shape: more recompute → lower forward-attention
+	// deviation, with full reuse worst and ratio 1 ≈ 0.
+	m := model.NewRandom(testCfg, 11)
+	in := makeInput(t, m, 4, 10, 6, 12)
+	ref := m.Prefill(fullTokens(in), 0, true)
+
+	reuse := Fuse(in, Options{Mode: ModeFullReuse, CollectAttention: true})
+	devReuse := suffixAttnDeviation(t, m, reuse, ref)
+
+	devAt := func(r float64) float64 {
+		res := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: r, CollectAttention: true})
+		return suffixAttnDeviation(t, m, res, ref)
+	}
+	dev15 := devAt(0.15)
+	dev50 := devAt(0.5)
+	dev100 := devAt(1.0)
+
+	if !(devReuse > dev15 && dev15 >= dev50 && dev50 >= dev100) {
+		t.Fatalf("deviation not monotone: reuse=%g r15=%g r50=%g r100=%g", devReuse, dev15, dev50, dev100)
+	}
+	if dev100 > 1e-4 {
+		t.Fatalf("ratio-1 deviation should be ~0, got %g", dev100)
+	}
+}
+
+func TestSelectedCountsFollowSchedule(t *testing.T) {
+	m := model.NewRandom(testCfg, 13)
+	in := makeInput(t, m, 3, 10, 5, 14)
+	ctx := 30
+	r := 0.2
+	res := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: r})
+	if res.SelectedPerLayer[0] != ctx {
+		t.Fatalf("layer 0 must recompute all %d context tokens, got %d", ctx, res.SelectedPerLayer[0])
+	}
+	// Selection layer keeps r*1.5, then tightens monotonically to r.
+	want1 := int(r*1.5*float64(ctx) + 0.5)
+	if res.SelectedPerLayer[1] != want1 {
+		t.Fatalf("layer 1 selected %d want %d", res.SelectedPerLayer[1], want1)
+	}
+	for li := 2; li < testCfg.Layers; li++ {
+		if res.SelectedPerLayer[li] > res.SelectedPerLayer[li-1] {
+			t.Fatalf("gradual filtering must be non-increasing: layer %d has %d > %d",
+				li, res.SelectedPerLayer[li], res.SelectedPerLayer[li-1])
+		}
+	}
+	last := res.SelectedPerLayer[testCfg.Layers-1]
+	if last != int(r*float64(ctx)+0.5) {
+		t.Fatalf("final layers should converge to r·ctx=%d, got %d", int(r*float64(ctx)+0.5), last)
+	}
+}
+
+func TestGradualFilterSubsets(t *testing.T) {
+	m := model.NewRandom(testCfg, 15)
+	in := makeInput(t, m, 3, 12, 4, 16)
+	res := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 0.25})
+	for li := 2; li < testCfg.Layers; li++ {
+		prev := map[int]bool{}
+		for _, j := range res.HKVD[li-1] {
+			prev[j] = true
+		}
+		for _, j := range res.HKVD[li] {
+			if !prev[j] {
+				t.Fatalf("layer %d HKVD token %d not in layer %d's set", li, j, li-1)
+			}
+		}
+	}
+}
+
+func TestDisableGradualFilterKeepsSet(t *testing.T) {
+	m := model.NewRandom(testCfg, 17)
+	in := makeInput(t, m, 3, 10, 4, 18)
+	res := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 0.2, DisableGradualFilter: true})
+	for li := 2; li < testCfg.Layers; li++ {
+		if len(res.HKVD[li]) != len(res.HKVD[1]) {
+			t.Fatalf("layer %d set size %d differs from selection layer %d", li, len(res.HKVD[li]), len(res.HKVD[1]))
+		}
+		for i := range res.HKVD[li] {
+			if res.HKVD[li][i] != res.HKVD[1][i] {
+				t.Fatal("disabled gradual filter must keep the layer-1 set")
+			}
+		}
+	}
+}
+
+func TestBlendBetterThanReuseOnKV(t *testing.T) {
+	// The fused cache at the default ratio must be closer to full prefill
+	// than the untouched reused cache, layer by layer (deep layers).
+	m := model.NewRandom(testCfg, 19)
+	in := makeInput(t, m, 4, 10, 5, 20)
+	ref := m.Prefill(fullTokens(in), 0, false)
+
+	reuse := Fuse(in, Options{Mode: ModeFullReuse})
+	blend := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 0.3})
+
+	var reuseDev, blendDev float64
+	for li := 2; li < testCfg.Layers; li++ {
+		reuseDev += kvcache.MeanDeviation(kvcache.KVDeviation(reuse.Cache, ref.Cache, li))
+		blendDev += kvcache.MeanDeviation(kvcache.KVDeviation(blend.Cache, ref.Cache, li))
+	}
+	if blendDev >= reuseDev {
+		t.Fatalf("blend KV deviation %g not better than reuse %g", blendDev, reuseDev)
+	}
+}
+
+func TestComputeAccounting(t *testing.T) {
+	m := model.NewRandom(testCfg, 21)
+	in := makeInput(t, m, 2, 10, 5, 22)
+	total := 25
+	full := Fuse(in, Options{Mode: ModeFullRecompute})
+	if full.ComputedTokenLayers != total*testCfg.Layers {
+		t.Fatalf("full recompute units %d want %d", full.ComputedTokenLayers, total*testCfg.Layers)
+	}
+	reuse := Fuse(in, Options{Mode: ModeFullReuse})
+	if reuse.ComputedTokenLayers != 5*testCfg.Layers {
+		t.Fatalf("reuse units %d want %d", reuse.ComputedTokenLayers, 5*testCfg.Layers)
+	}
+	bl := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 0.15})
+	if bl.ComputedTokenLayers <= reuse.ComputedTokenLayers || bl.ComputedTokenLayers >= full.ComputedTokenLayers {
+		t.Fatalf("blend units %d should be between reuse %d and full %d",
+			bl.ComputedTokenLayers, reuse.ComputedTokenLayers, full.ComputedTokenLayers)
+	}
+	if bl.ProjectedTokenLayers < total {
+		t.Fatalf("selection layer must project all %d tokens, got %d", total, bl.ProjectedTokenLayers)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeBlend.String() != "cacheblend" || ModeFullReuse.String() != "full-kv-reuse" ||
+		ModeFullRecompute.String() != "full-recompute" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(99).String() == "" {
+		t.Fatal("unknown mode must still print")
+	}
+}
+
+func TestFusePanicsOnMismatchedChunks(t *testing.T) {
+	m := model.NewRandom(testCfg, 23)
+	in := makeInput(t, m, 2, 8, 3, 24)
+	in.ChunkTokens = in.ChunkTokens[:1]
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fuse(in, Options{})
+}
+
+func TestRowsForPanicsOnMissing(t *testing.T) {
+	h := tensor.New(2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rowsFor(h, []int{1, 3}, []int{2})
+}
+
+func TestDiffSorted(t *testing.T) {
+	got := diffSorted([]int{1, 2, 4, 7}, []int{2, 7})
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("diffSorted got %v", got)
+	}
+	if diffSorted([]int{1}, []int{1}) != nil {
+		t.Fatal("full overlap must be nil")
+	}
+}
+
+func TestNoChunksPureSuffix(t *testing.T) {
+	// Degenerate input: no reused chunks at all. Blend must behave like a
+	// plain prefill of the suffix.
+	m := model.NewRandom(testCfg, 25)
+	suffix := []int{1, 2, 3, 4, 5}
+	ref := m.Prefill(suffix, 0, false)
+	res := Fuse(Input{Model: m, SuffixTokens: suffix}, Options{Mode: ModeBlend, RecomputeRatio: 0.15})
+	if tensor.MaxAbsDiff(res.Hidden.Data, ref.Hidden.Data) > 1e-5 {
+		t.Fatal("pure-suffix fuse differs from prefill")
+	}
+}
+
+func TestRandomSelectionWorseThanHKVD(t *testing.T) {
+	// Insight 1: recomputing the highest-KV-deviation tokens reduces
+	// attention deviation more than recomputing a random set of the same
+	// size.
+	m := model.NewRandom(testCfg, 27)
+	in := makeInput(t, m, 4, 12, 6, 28)
+	ref := m.Prefill(fullTokens(in), 0, true)
+
+	flat := []float64{1.0}
+	hkvd := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 0.15,
+		ScheduleDecay: flat, CollectAttention: true})
+	devH := suffixAttnDeviation(t, m, hkvd, ref)
+
+	var devRandSum float64
+	for seed := int64(0); seed < 3; seed++ {
+		rnd := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: 0.15,
+			ScheduleDecay: flat, CollectAttention: true,
+			RandomSelection: true, RandomSeed: seed})
+		devRandSum += suffixAttnDeviation(t, m, rnd, ref)
+	}
+	devRand := devRandSum / 3
+	if devH >= devRand {
+		t.Fatalf("HKVD deviation %.4f should beat random %.4f", devH, devRand)
+	}
+}
+
+func TestRandomSelectionCountsMatch(t *testing.T) {
+	m := model.NewRandom(testCfg, 29)
+	in := makeInput(t, m, 3, 10, 4, 30)
+	r := 0.2
+	res := Fuse(in, Options{Mode: ModeBlend, RecomputeRatio: r,
+		ScheduleDecay: []float64{1.0}, RandomSelection: true, RandomSeed: 5})
+	want := int(r*30 + 0.5)
+	for li := 1; li < testCfg.Layers; li++ {
+		if res.SelectedPerLayer[li] != want {
+			t.Fatalf("layer %d selected %d want %d", li, res.SelectedPerLayer[li], want)
+		}
+	}
+}
+
+func TestDispositionAblationHurts(t *testing.T) {
+	// Skipping the positional re-rotation of reused keys must push the
+	// reused cache further from full prefill than correct repositioning
+	// does (the error PromptCache's dummy-prefix trick exists to avoid).
+	m := model.NewRandom(testCfg, 31)
+	in := makeInput(t, m, 3, 12, 4, 32)
+	ref := m.Prefill(fullTokens(in), 0, false)
+
+	good := Fuse(in, Options{Mode: ModeFullReuse})
+	bad := Fuse(in, Options{Mode: ModeFullReuse, DisableReposition: true})
+
+	// Layer 0 is the crisp signal: with correct re-rotation the reused
+	// keys are exact there (K depends only on embeddings and position);
+	// without it they are not.
+	goodDev := kvcache.MeanDeviation(kvcache.KVDeviation(good.Cache, ref.Cache, 0)[:good.SuffixStart])
+	badDev := kvcache.MeanDeviation(kvcache.KVDeviation(bad.Cache, ref.Cache, 0)[:bad.SuffixStart])
+	if goodDev > 1e-3 {
+		t.Fatalf("repositioned reuse should be exact on layer 0, deviation %.4f", goodDev)
+	}
+	if badDev < 0.1 {
+		t.Fatalf("unpositioned reuse should visibly deviate on layer 0, got %.4f", badDev)
+	}
+	// Deeper layers: positional error adds on top of the missing
+	// cross-attention.
+	var goodSum, badSum float64
+	for li := 1; li < testCfg.Layers; li++ {
+		goodSum += kvcache.MeanDeviation(kvcache.KVDeviation(good.Cache, ref.Cache, li))
+		badSum += kvcache.MeanDeviation(kvcache.KVDeviation(bad.Cache, ref.Cache, li))
+	}
+	if badSum <= goodSum {
+		t.Fatalf("unpositioned reuse (%.3f) should deviate beyond repositioned reuse (%.3f)",
+			badSum, goodSum)
+	}
+}

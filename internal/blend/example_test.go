@@ -1,0 +1,42 @@
+package blend_test
+
+import (
+	"fmt"
+
+	"repro/internal/blend"
+	"repro/internal/kvcache"
+	"repro/internal/qamodel"
+)
+
+// Example demonstrates the core CacheBlend flow: pre-compute each chunk's
+// KV cache once, then fuse them with selective recompute when a request
+// arrives.
+func Example() {
+	m, v := qamodel.Build()
+
+	// Two knowledge chunks, cached independently (chunks start with a
+	// sink token; see the qamodel package documentation).
+	alice, bob, paris := v.Entities[0], v.Entities[1], v.Entities[12]
+	chunk1 := append([]int{v.Period}, v.Fact(bob, v.RelA[0], alice)...)
+	chunk2 := append([]int{v.Period}, v.Fact(paris, v.RelB[0], bob)...)
+	var caches []*kvcache.Cache
+	for _, c := range [][]int{chunk1, chunk2} {
+		caches = append(caches, m.Prefill(c, 0, false).Cache)
+	}
+
+	// Fuse at request time with 15% selective recompute.
+	res := blend.Fuse(blend.Input{
+		Model:        m,
+		Chunks:       caches,
+		ChunkTokens:  [][]int{chunk1, chunk2},
+		SuffixTokens: v.QueryTokens(v.RelA[0], alice, v.RelB[0]),
+	}, blend.Options{
+		Mode:           blend.ModeBlend,
+		RecomputeRatio: 0.15,
+		SelectionLayer: qamodel.SelectionLayer,
+	})
+
+	answer := qamodel.Answer(m, res.Cache, res.Hidden.Row(res.Hidden.Rows-1))
+	fmt.Println(v.Name(answer))
+	// Output: paris
+}

@@ -1,0 +1,113 @@
+package chunk
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministicAndDistinct(t *testing.T) {
+	a := Hash("m1", []int{1, 2, 3})
+	b := Hash("m1", []int{1, 2, 3})
+	if a != b {
+		t.Fatal("same input must hash identically")
+	}
+	if Hash("m1", []int{1, 2, 4}) == a {
+		t.Fatal("different tokens must hash differently")
+	}
+	if Hash("m2", []int{1, 2, 3}) == a {
+		t.Fatal("different models must hash differently")
+	}
+	if a.String() == "" || len(a.String()) != 16 {
+		t.Fatalf("String() should be 8 hex bytes, got %q", a.String())
+	}
+}
+
+func TestHashNoLengthConfusion(t *testing.T) {
+	// [1,2]+[3] vs [1]+[2,3] style boundary confusion must not collide.
+	if Hash("m", []int{12}) == Hash("m", []int{1, 2}) {
+		t.Fatal("token boundary confusion")
+	}
+}
+
+func TestSplitTokens(t *testing.T) {
+	toks := []int{0, 1, 2, 3, 4, 5, 6}
+	got := SplitTokens(toks, 3)
+	if len(got) != 3 || len(got[0]) != 3 || len(got[2]) != 1 {
+		t.Fatalf("split shapes wrong: %v", got)
+	}
+	if got[2][0] != 6 {
+		t.Fatal("last chunk content wrong")
+	}
+}
+
+func TestSplitTokensRoundTrip(t *testing.T) {
+	f := func(raw []uint8, size8 uint8) bool {
+		size := int(size8%32) + 1
+		toks := make([]int, len(raw))
+		for i, b := range raw {
+			toks[i] = int(b)
+		}
+		var joined []int
+		for _, c := range SplitTokens(toks, size) {
+			if len(c) == 0 || len(c) > size {
+				return false
+			}
+			joined = append(joined, c...)
+		}
+		if len(joined) != len(toks) {
+			return false
+		}
+		for i := range toks {
+			if toks[i] != joined[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTokensPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SplitTokens([]int{1}, 0)
+}
+
+func TestSplitAtBoundaries(t *testing.T) {
+	// Sentence of 5 tokens ending in boundary 99, repeated.
+	var toks []int
+	for i := 0; i < 6; i++ {
+		toks = append(toks, 1, 2, 3, 4, 99)
+	}
+	chunks := SplitAtBoundaries(toks, 12, 99)
+	// Every chunk except possibly the last must end on the boundary.
+	for i, c := range chunks[:len(chunks)-1] {
+		if c[len(c)-1] != 99 {
+			t.Fatalf("chunk %d does not end at a boundary: %v", i, c)
+		}
+		if len(c) > 12 {
+			t.Fatalf("chunk %d exceeds size: %d", i, len(c))
+		}
+	}
+	// Round trip.
+	var joined []int
+	for _, c := range chunks {
+		joined = append(joined, c...)
+	}
+	if len(joined) != len(toks) {
+		t.Fatal("boundary split lost tokens")
+	}
+}
+
+func TestSplitAtBoundariesNoBoundary(t *testing.T) {
+	toks := make([]int, 20)
+	chunks := SplitAtBoundaries(toks, 8, 99)
+	if len(chunks) != 3 || len(chunks[0]) != 8 || len(chunks[2]) != 4 {
+		t.Fatalf("fallback to fixed split wrong: %d chunks", len(chunks))
+	}
+}

@@ -1,0 +1,131 @@
+// Package controller implements CacheBlend's loading controller (§5.1):
+// given delay estimators for selective recompute and KV loading, it picks
+// (a) the recompute ratio a storage device can hide at no extra TTFT cost
+// and (b) the cheapest storage device that hides a fixed recompute ratio.
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+// DefaultQualityFloor is r*, the minimal recompute ratio that empirically
+// keeps generation quality indistinguishable from full prefill (the paper
+// reads 15% off Figure 16).
+const DefaultQualityFloor = 0.15
+
+// Controller owns the estimator inputs.
+type Controller struct {
+	// Spec is the served model.
+	Spec timing.Spec
+	// QualityFloor is r*; zero means DefaultQualityFloor.
+	QualityFloor float64
+}
+
+// floor returns the effective r*.
+func (c Controller) floor() float64 {
+	if c.QualityFloor > 0 {
+		return c.QualityFloor
+	}
+	return DefaultQualityFloor
+}
+
+// PickRatio returns the recompute ratio for a context of L tokens stored
+// on d: the largest ratio whose per-layer recompute delay stays hidden
+// under the per-layer loading delay, but never below the quality floor r*
+// (§5.1: "takes the max of r% and r*%"). The result is capped at 1.
+func (c Controller) PickRatio(L int, d device.Device) float64 {
+	// Per-layer pipelining hides recompute iff
+	// RecomputeLayer(r) ≤ LoadLayer  ⇔  r ≤ Layers·LoadLayer/Prefill.
+	prefill := c.Spec.Prefill(L)
+	var r float64
+	if prefill > 0 {
+		r = float64(c.Spec.Layers) * c.Spec.LoadLayer(L, d) / prefill
+	}
+	if r < c.floor() {
+		r = c.floor()
+	}
+	if r > 1 {
+		r = 1
+	}
+	return r
+}
+
+// ExtraDelay returns the TTFT increase of running ratio r on device d
+// relative to the pure loading floor — zero when loading fully hides the
+// recompute.
+func (c Controller) ExtraDelay(r float64, L int, d device.Device) float64 {
+	pipelined := c.Spec.TTFT(r, L, d, true)
+	// The loading floor issues one read per layer (as the pipeline does),
+	// so it pays the per-operation latency Layers times.
+	floor := float64(c.Spec.Layers)*c.Spec.LoadLayer(L, d) +
+		c.Spec.RecomputeLayer(r, L) + c.Spec.DecodeSecPerToken
+	if pipelined < floor {
+		return 0
+	}
+	return pipelined - floor
+}
+
+// PickDevice returns the cheapest device from candidates whose loading
+// delay is hidden by recomputing at ratio r, i.e. T_recompute ≥ T_load
+// per layer (§5.1, Figure 10(b)). If no candidate qualifies it returns
+// the fastest candidate and ok=false.
+func (c Controller) PickDevice(candidates []device.Device, L int, r float64) (device.Device, bool) {
+	if len(candidates) == 0 {
+		panic("controller: no candidate devices")
+	}
+	byCost := append([]device.Device(nil), candidates...)
+	sort.Slice(byCost, func(i, j int) bool {
+		return byCost[i].CostPerGBMonth < byCost[j].CostPerGBMonth
+	})
+	comp := c.Spec.RecomputeLayer(r, L)
+	for _, d := range byCost {
+		if c.Spec.LoadLayer(L, d) <= comp {
+			return d, true
+		}
+	}
+	fastest := candidates[0]
+	for _, d := range candidates[1:] {
+		if c.Spec.LoadLayer(L, d) < c.Spec.LoadLayer(L, fastest) {
+			fastest = d
+		}
+	}
+	return fastest, false
+}
+
+// Plan is the controller's decision for one request.
+type Plan struct {
+	Device   device.Device
+	Ratio    float64
+	TTFT     float64 // pipelined TTFT estimate
+	StoreUSD float64 // storage cost of the context's KV for StoreHours
+}
+
+// StoreHours is the accounting window for Plan.StoreUSD.
+const StoreHours = 24 * 30
+
+// PlanRequest runs both controller decisions for a context of L tokens:
+// choose the cheapest viable device at the quality-floor ratio, then relax
+// the ratio up to whatever that device's loading can hide.
+func (c Controller) PlanRequest(candidates []device.Device, L int) Plan {
+	d, ok := c.PickDevice(candidates, L, c.floor())
+	r := c.floor()
+	if ok {
+		r = c.PickRatio(L, d)
+	}
+	return Plan{
+		Device:   d,
+		Ratio:    r,
+		TTFT:     c.Spec.TTFT(r, L, d, true),
+		StoreUSD: d.StorageCost(c.Spec.KVBytes(L), StoreHours),
+	}
+}
+
+// String renders a plan for logs.
+func (p Plan) String() string {
+	return fmt.Sprintf("device=%s ratio=%.0f%% ttft=%.3fs store=$%.4f/mo",
+		p.Device.Name, p.Ratio*100, p.TTFT, p.StoreUSD)
+}

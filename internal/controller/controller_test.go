@@ -1,0 +1,119 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+func TestPickRatioFloorsAtQualityMinimum(t *testing.T) {
+	// A very fast device (RAM) loads faster than any useful recompute, so
+	// the ratio must floor at r* (the paper: "even if the storage device
+	// is a fast device (ex. CPU RAM), the delay will be lower-bounded by
+	// the minimal recomputation to guarantee quality").
+	c := Controller{Spec: timing.Llama70B}
+	r := c.PickRatio(4096, device.GPUHBM)
+	if r != DefaultQualityFloor {
+		t.Fatalf("ratio on HBM = %v, want floor %v", r, DefaultQualityFloor)
+	}
+}
+
+func TestPickRatioGrowsOnSlowDevices(t *testing.T) {
+	c := Controller{Spec: timing.Mistral7B}
+	slow := c.PickRatio(4096, device.SlowDisk)
+	nvme := c.PickRatio(4096, device.NVMeSSD)
+	if slow <= nvme {
+		t.Fatalf("slower device should afford more recompute: disk %v vs nvme %v", slow, nvme)
+	}
+	if slow > 1 {
+		t.Fatal("ratio must cap at 1")
+	}
+}
+
+func TestPickRatioHidesRecompute(t *testing.T) {
+	// Wherever the picked ratio exceeds the floor, the per-layer
+	// recompute must be (approximately) hidden by per-layer loading.
+	c := Controller{Spec: timing.Mistral7B}
+	for _, d := range []device.Device{device.NVMeSSD, device.SlowSSD, device.SlowDisk} {
+		r := c.PickRatio(4096, d)
+		if r <= DefaultQualityFloor {
+			continue
+		}
+		comp := c.Spec.RecomputeLayer(r, 4096)
+		load := c.Spec.LoadLayer(4096, d)
+		if comp > load*1.01 {
+			t.Fatalf("%s: recompute/layer %.4f not hidden by load/layer %.4f", d.Name, comp, load)
+		}
+	}
+}
+
+func TestCustomQualityFloor(t *testing.T) {
+	c := Controller{Spec: timing.Yi34B, QualityFloor: 0.3}
+	if r := c.PickRatio(4096, device.GPUHBM); r != 0.3 {
+		t.Fatalf("custom floor ignored: %v", r)
+	}
+}
+
+func TestPickDeviceCheapestViable(t *testing.T) {
+	// At r=15% for Llama-70B, recompute/layer ≈ 7ms: NVMe (≈1.8ms/layer)
+	// and even slower tiers qualify; the controller must take the
+	// cheapest qualifying one, not the fastest.
+	c := Controller{Spec: timing.Llama70B}
+	cands := []device.Device{device.CPURAM, device.NVMeSSD, device.SlowSSD}
+	d, ok := c.PickDevice(cands, 4096, 0.15)
+	if !ok {
+		t.Fatal("expected a viable device")
+	}
+	comp := c.Spec.RecomputeLayer(0.15, 4096)
+	if c.Spec.LoadLayer(4096, d) > comp {
+		t.Fatalf("picked device %s does not hide loading", d.Name)
+	}
+	// Among viable candidates, the pick must be the cheapest.
+	for _, cand := range cands {
+		if c.Spec.LoadLayer(4096, cand) <= comp && cand.CostPerGBMonth < d.CostPerGBMonth {
+			t.Fatalf("cheaper viable device %s not picked over %s", cand.Name, d.Name)
+		}
+	}
+}
+
+func TestPickDeviceFallsBackToFastest(t *testing.T) {
+	// A tiny model recomputing 1% leaves almost no loading budget; if no
+	// candidate hides it, the controller returns the fastest and ok=false.
+	c := Controller{Spec: timing.Mistral7B}
+	cands := []device.Device{device.SlowDisk, device.ObjectStore}
+	d, ok := c.PickDevice(cands, 4096, 0.01)
+	if ok {
+		t.Fatal("no device should hide 1% recompute for a 7B")
+	}
+	if d.Name != device.SlowDisk.Name {
+		t.Fatalf("fallback must be the fastest candidate, got %s", d.Name)
+	}
+}
+
+func TestPlanRequest(t *testing.T) {
+	c := Controller{Spec: timing.Yi34B}
+	p := c.PlanRequest(device.Tiers(), 3072)
+	if p.Ratio < DefaultQualityFloor {
+		t.Fatalf("plan ratio %v below floor", p.Ratio)
+	}
+	if p.TTFT <= 0 || p.StoreUSD < 0 {
+		t.Fatalf("plan has nonsense numbers: %+v", p)
+	}
+	if !strings.Contains(p.String(), "device=") {
+		t.Fatal("plan string must mention the device")
+	}
+	// The plan must beat full prefill.
+	if p.TTFT >= c.Spec.FullPrefillTTFT(3072) {
+		t.Fatalf("planned TTFT %.3f not better than full prefill", p.TTFT)
+	}
+}
+
+func TestExtraDelayZeroWhenHidden(t *testing.T) {
+	c := Controller{Spec: timing.Mistral7B}
+	// 15% on a 1 GB/s SSD is the paper's "no extra delay" example.
+	if d := c.ExtraDelay(0.15, 4096, device.SlowSSD); d > 1e-6 {
+		t.Fatalf("15%% on slow SSD should be hidden, extra=%v", d)
+	}
+}

@@ -1,0 +1,26 @@
+package controller_test
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+// Example shows the loading controller's two decisions for a 4K-token
+// context: which recompute ratio a device affords, and which device to
+// store KV caches on for the quality-floor ratio.
+func Example() {
+	ctrl := controller.Controller{Spec: timing.Llama70B}
+
+	// A fast tier cannot hide more than the quality floor.
+	fmt.Printf("ratio on cpu-ram: %.0f%%\n", ctrl.PickRatio(4096, device.CPURAM)*100)
+
+	// The cheapest device whose loading hides under 15% recompute.
+	pick, ok := ctrl.PickDevice(device.Tiers(), 4096, 0.15)
+	fmt.Printf("device for 15%%: %s (viable=%v)\n", pick.Name, ok)
+	// Output:
+	// ratio on cpu-ram: 15%
+	// device for 15%: slow-ssd (viable=true)
+}

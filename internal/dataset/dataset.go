@@ -1,0 +1,275 @@
+// Package dataset generates the four synthetic evaluation datasets that
+// stand in for the paper's Musique, 2WikiMQA, SAMSum and MultiNews
+// workloads. Each case is a self-contained RAG instance: a pool of text
+// chunks (facts over the constructed QA world of package qamodel, plus
+// topic and filler tokens), a two-hop query, the ground-truth answer and
+// the indices of the chunks actually needed.
+//
+// The structural knobs mirror what makes the real datasets hard:
+//
+//   - answers require joining facts spread across multiple chunks
+//     (SplitFraction of the cases split the answer-bearing fact across two
+//     chunks via the role indirection, which is exactly the cross-chunk
+//     attention full KV reuse loses);
+//   - retrieval is imperfect: topic words give the vector index a signal,
+//     TopicNoise lets distractor chunks share query topics, so small k
+//     misses relevant chunks and quality rises with k (paper Figure 2);
+//   - distractor facts and dangling split halves populate every chunk.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/qamodel"
+	"repro/internal/tensor"
+)
+
+// Case is one RAG evaluation instance.
+type Case struct {
+	// Chunks is the per-case chunk pool (token sequences).
+	Chunks [][]int
+	// ChunkTexts renders each chunk for the retriever.
+	ChunkTexts []string
+	// Query is the model-input suffix (topics + question tokens).
+	Query []int
+	// QueryText renders the query for the retriever.
+	QueryText string
+	// Answer is the single ground-truth answer word.
+	Answer string
+	// Relevant lists the chunk indices needed to answer.
+	Relevant []int
+}
+
+// Dataset is a named collection of cases with its quality metric.
+type Dataset struct {
+	Name   string
+	Metric string // "f1" or "rouge-l"
+	Cases  []Case
+}
+
+// Config controls generation.
+type Config struct {
+	// Name labels the dataset.
+	Name string
+	// Metric is "f1" or "rouge-l".
+	Metric string
+	// Cases is the number of cases to generate.
+	Cases int
+	// ChunksPerCase is the chunk-pool size per case.
+	ChunksPerCase int
+	// FactsPerChunk sets chunk length (each fact is 4 tokens plus
+	// occasional filler).
+	FactsPerChunk int
+	// SplitFraction is the probability the answer-bearing hop-2 fact is
+	// split across two chunks.
+	SplitFraction float64
+	// TopicNoise is the probability a distractor chunk carries one of the
+	// query's topic words.
+	TopicNoise float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Presets for the four paper datasets. Cases counts follow the paper
+// (§7.1) and can be overridden by the caller before Generate.
+func MusiqueConfig() Config {
+	return Config{Name: "musique", Metric: "f1", Cases: 150, ChunksPerCase: 12,
+		FactsPerChunk: 8, SplitFraction: 0.75, TopicNoise: 0.3, Seed: 101}
+}
+
+func TwoWikiConfig() Config {
+	return Config{Name: "2wikimqa", Metric: "f1", Cases: 200, ChunksPerCase: 14,
+		FactsPerChunk: 7, SplitFraction: 0.6, TopicNoise: 0.25, Seed: 202}
+}
+
+func SamsumConfig() Config {
+	return Config{Name: "samsum", Metric: "rouge-l", Cases: 200, ChunksPerCase: 8,
+		FactsPerChunk: 5, SplitFraction: 0.5, TopicNoise: 0.2, Seed: 303}
+}
+
+func MultiNewsConfig() Config {
+	return Config{Name: "multinews", Metric: "rouge-l", Cases: 60, ChunksPerCase: 10,
+		FactsPerChunk: 10, SplitFraction: 0.65, TopicNoise: 0.35, Seed: 404}
+}
+
+// Configs lists the four presets in paper order.
+func Configs() []Config {
+	return []Config{TwoWikiConfig(), MusiqueConfig(), SamsumConfig(), MultiNewsConfig()}
+}
+
+// Generate builds a dataset against the constructed QA vocabulary.
+func Generate(v *qamodel.Vocab, cfg Config) *Dataset {
+	if cfg.Cases <= 0 || cfg.ChunksPerCase < 3 || cfg.FactsPerChunk < 2 {
+		panic(fmt.Sprintf("dataset %q: degenerate config %+v", cfg.Name, cfg))
+	}
+	ds := &Dataset{Name: cfg.Name, Metric: cfg.Metric}
+	for i := 0; i < cfg.Cases; i++ {
+		g := tensor.NewRNG(cfg.Seed*1_000_003 + int64(i))
+		ds.Cases = append(ds.Cases, generateCase(v, cfg, g))
+	}
+	return ds
+}
+
+// factSlot is a queued fact for some chunk.
+type factSlot struct {
+	chunk  int
+	tokens []int
+}
+
+func generateCase(v *qamodel.Vocab, cfg Config, g *tensor.RNG) Case {
+	// Split the entity inventory into persons and objects for this case.
+	perm := g.Perm(len(v.Entities))
+	persons := make([]int, 0, 10)
+	objects := make([]int, 0, 10)
+	for i, p := range perm {
+		if i%2 == 0 && len(persons) < 10 {
+			persons = append(persons, v.Entities[p])
+		} else if len(objects) < 10 {
+			objects = append(objects, v.Entities[p])
+		}
+	}
+	qent, bridge := persons[0], persons[1]
+	ans := objects[0]
+	relA := v.RelA[g.Intn(len(v.RelA))]
+	relB := v.RelB[g.Intn(len(v.RelB))]
+
+	nChunks := cfg.ChunksPerCase
+	// Pick distinct chunks for the relevant facts.
+	cp := g.Perm(nChunks)
+	hop1Chunk := cp[0]
+	anchorChunk := cp[1]
+	valueChunk := cp[2]
+
+	split := g.Float64() < cfg.SplitFraction
+	var slots []factSlot
+	relevant := map[int]bool{hop1Chunk: true}
+	slots = append(slots, factSlot{hop1Chunk, v.Fact(bridge, relA, qent)})
+	// Role codes must be unique within a case or joins become ambiguous;
+	// draw them from a permutation.
+	rolePerm := g.Perm(qamodel.L)
+	nextRole := 0
+	if split {
+		role := rolePerm[nextRole]
+		nextRole++
+		slots = append(slots,
+			factSlot{anchorChunk, v.Anchor(role, relB, bridge)},
+			factSlot{valueChunk, v.ValueHalf(ans, role)})
+		relevant[anchorChunk] = true
+		relevant[valueChunk] = true
+	} else {
+		// A share of whole-fact cases co-locates both hops in one chunk:
+		// real corpora have single-document answers, and per-chunk schemes
+		// (MapRerank) can only ever answer those.
+		if g.Float64() < 0.35 {
+			anchorChunk = hop1Chunk
+		}
+		slots = append(slots, factSlot{anchorChunk, v.Fact(ans, relB, bridge)})
+		relevant[anchorChunk] = true
+	}
+
+	// Track used (subject, relation) pairs so records never conflict, and
+	// never give qent or bridge additional records.
+	type key struct{ subj, rel int }
+	used := map[key]bool{
+		{qent, relA}:   true,
+		{bridge, relB}: true,
+	}
+	forbiddenSubjects := map[int]bool{qent: true}
+
+	// Distractor whole facts.
+	nDistract := nChunks*cfg.FactsPerChunk - len(slots) - 4
+	rels := append(append([]int{}, v.RelA...), v.RelB...)
+	for i := 0; i < nDistract; i++ {
+		rel := rels[g.Intn(len(rels))]
+		isHop1 := rel == v.RelA[0] || rel == v.RelA[1]
+		var subj, val int
+		if isHop1 {
+			subj = persons[2+g.Intn(len(persons)-2)]
+			val = persons[g.Intn(len(persons))]
+		} else {
+			subj = persons[2+g.Intn(len(persons)-2)]
+			val = objects[1+g.Intn(len(objects)-1)]
+		}
+		k := key{subj, rel}
+		if used[k] || forbiddenSubjects[subj] || subj == val {
+			continue
+		}
+		used[k] = true
+		slots = append(slots, factSlot{g.Intn(nChunks), v.Fact(val, rel, subj)})
+	}
+	// Distractor split facts on the remaining roles (some cross-chunk,
+	// some intra-chunk, some dangling halves).
+	for n := 0; n < 3 && nextRole < qamodel.L; n++ {
+		role := rolePerm[nextRole]
+		nextRole++
+		subj := persons[2+g.Intn(len(persons)-2)]
+		val := objects[1+g.Intn(len(objects)-1)]
+		rel := v.RelB[g.Intn(len(v.RelB))]
+		k := key{subj, rel}
+		if used[k] || forbiddenSubjects[subj] {
+			continue
+		}
+		used[k] = true
+		ca := g.Intn(nChunks)
+		cb := g.Intn(nChunks)
+		switch g.Intn(3) {
+		case 0: // full split pair
+			slots = append(slots,
+				factSlot{ca, v.Anchor(role, rel, subj)},
+				factSlot{cb, v.ValueHalf(val, role)})
+		case 1: // dangling anchor
+			slots = append(slots, factSlot{ca, v.Anchor(role, rel, subj)})
+		default: // dangling value half
+			slots = append(slots, factSlot{cb, v.ValueHalf(val, role)})
+		}
+	}
+
+	// Assemble chunks: a topic headline, then the chunk's facts with
+	// occasional filler words (varying fact spacing also breaks any
+	// periodic alignment in the attention kernels).
+	topics := g.Perm(len(v.Topics))
+	queryTopics := []int{v.Topics[topics[0]], v.Topics[topics[1]]}
+	chunks := make([][]int, nChunks)
+	for ci := 0; ci < nChunks; ci++ {
+		var stamp []int
+		if relevant[ci] {
+			stamp = []int{queryTopics[0], queryTopics[1]}
+		} else {
+			t := v.Topics[topics[2+ci%(len(topics)-2)]]
+			stamp = []int{t, t}
+			if g.Float64() < cfg.TopicNoise {
+				stamp[1] = queryTopics[g.Intn(2)]
+			}
+		}
+		chunks[ci] = append(chunks[ci], stamp...)
+		chunks[ci] = append(chunks[ci], v.Period)
+	}
+	for _, s := range slots {
+		c := s.chunk
+		chunks[c] = append(chunks[c], s.tokens...)
+		if g.Float64() < 0.3 {
+			chunks[c] = append(chunks[c], v.Fillers[g.Intn(len(v.Fillers))])
+		}
+	}
+
+	query := append([]int{queryTopics[0], queryTopics[1], v.Period}, v.QueryTokens(relA, qent, relB)...)
+
+	var rel []int
+	for ci := range chunks {
+		if relevant[ci] {
+			rel = append(rel, ci)
+		}
+	}
+	texts := make([]string, nChunks)
+	for ci, c := range chunks {
+		texts[ci] = v.Text(c)
+	}
+	return Case{
+		Chunks:     chunks,
+		ChunkTexts: texts,
+		Query:      query,
+		QueryText:  v.Text(query),
+		Answer:     v.Name(ans),
+		Relevant:   rel,
+	}
+}

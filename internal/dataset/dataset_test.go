@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/qamodel"
+	"repro/internal/retrieval"
+)
+
+func gen(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	_, v := qamodel.Build()
+	return Generate(v, cfg)
+}
+
+func TestPresetsGenerate(t *testing.T) {
+	for _, cfg := range Configs() {
+		cfg.Cases = 5
+		ds := gen(t, cfg)
+		if len(ds.Cases) != 5 {
+			t.Fatalf("%s: %d cases", cfg.Name, len(ds.Cases))
+		}
+		if ds.Metric != "f1" && ds.Metric != "rouge-l" {
+			t.Fatalf("%s: bad metric %q", cfg.Name, ds.Metric)
+		}
+		for i, c := range ds.Cases {
+			if len(c.Chunks) != cfg.ChunksPerCase {
+				t.Fatalf("%s case %d: %d chunks want %d", cfg.Name, i, len(c.Chunks), cfg.ChunksPerCase)
+			}
+			if len(c.Relevant) < 1 || len(c.Relevant) > 3 {
+				t.Fatalf("%s case %d: %d relevant chunks", cfg.Name, i, len(c.Relevant))
+			}
+			if c.Answer == "" || len(c.Query) < 8 {
+				t.Fatalf("%s case %d: empty answer or short query", cfg.Name, i)
+			}
+			if len(c.ChunkTexts) != len(c.Chunks) {
+				t.Fatal("chunk texts misaligned")
+			}
+		}
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	cfg := MusiqueConfig()
+	cfg.Cases = 3
+	a := gen(t, cfg)
+	b := gen(t, cfg)
+	for i := range a.Cases {
+		if a.Cases[i].QueryText != b.Cases[i].QueryText || a.Cases[i].Answer != b.Cases[i].Answer {
+			t.Fatal("generation must be deterministic")
+		}
+	}
+	cfg.Seed++
+	c := gen(t, cfg)
+	same := 0
+	for i := range a.Cases {
+		if a.Cases[i].QueryText == c.Cases[i].QueryText {
+			same++
+		}
+	}
+	if same == len(a.Cases) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRetrievalFindsRelevantChunks(t *testing.T) {
+	cfg := MusiqueConfig()
+	cfg.Cases = 20
+	ds := gen(t, cfg)
+	foundAll, total := 0, 0
+	for _, c := range ds.Cases {
+		r := retrieval.NewRetriever(128, c.ChunkTexts)
+		top := r.TopK(c.QueryText, 6)
+		got := map[int]bool{}
+		for _, id := range top {
+			got[id] = true
+		}
+		ok := true
+		for _, rc := range c.Relevant {
+			if !got[rc] {
+				ok = false
+			}
+		}
+		if ok {
+			foundAll++
+		}
+		total++
+	}
+	// Retrieval should usually succeed at k=6 but not always (that
+	// imperfection is what makes Figure 2's curve rise with k).
+	if foundAll < total*6/10 {
+		t.Fatalf("retrieval recall too low: %d/%d", foundAll, total)
+	}
+	if foundAll == total {
+		t.Log("note: perfect recall at k=6 on this sample (acceptable)")
+	}
+}
+
+func TestDegenerateConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	gen(t, Config{Name: "bad", Cases: 0})
+}
+
+func TestAnswerableByConstruction(t *testing.T) {
+	// With ALL chunks given (no retrieval), full prefill must answer
+	// almost every case — generation bugs would show up here.
+	m, v := qamodel.Build()
+	cfg := MusiqueConfig()
+	cfg.Cases = 10
+	cfg.ChunksPerCase = 6
+	cfg.FactsPerChunk = 4
+	ds := Generate(v, cfg)
+	correct := 0
+	for _, c := range ds.Cases {
+		var toks []int
+		for _, ch := range c.Chunks {
+			toks = append(toks, ch...)
+		}
+		toks = append(toks, c.Query...)
+		res := m.Prefill(toks, 0, false)
+		got := qamodel.Answer(m, res.Cache, res.Hidden.Row(len(toks)-1))
+		if v.Name(got) == c.Answer {
+			correct++
+		}
+	}
+	if correct < 9 {
+		t.Fatalf("only %d/10 cases answerable with full context", correct)
+	}
+}
+
+func TestExtendedSharedPool(t *testing.T) {
+	_, v := qamodel.Build()
+	ds := GenerateExtended(v, MusiqueExtended())
+	if len(ds.Cases) != 60 {
+		t.Fatalf("want 60 cases, got %d", len(ds.Cases))
+	}
+	// All cases reference the same chunk pool (shared backing arrays).
+	for i := 1; i < len(ds.Cases); i++ {
+		if &ds.Cases[i].Chunks[0][0] != &ds.Cases[0].Chunks[0][0] {
+			t.Fatal("extended cases must share one chunk pool")
+		}
+	}
+	// Relevant chunks exist and queries parse.
+	for i, c := range ds.Cases {
+		if len(c.Relevant) < 1 || len(c.Relevant) > 3 {
+			t.Fatalf("case %d: %d relevant chunks", i, len(c.Relevant))
+		}
+		if _, _, _, ok := v.ParseQuery(c.Query); !ok {
+			t.Fatalf("case %d: query does not parse", i)
+		}
+	}
+}
+
+func TestExtendedAnswerable(t *testing.T) {
+	// With all pool chunks as context, full prefill must answer most
+	// queries (the shared world is consistent by construction).
+	m, v := qamodel.Build()
+	cfg := MusiqueExtended()
+	cfg.Queries = 10
+	cfg.Chunks = 8
+	cfg.FactsPerChunk = 4
+	ds := GenerateExtended(v, cfg)
+	correct := 0
+	for _, c := range ds.Cases {
+		var toks []int
+		for _, ch := range c.Chunks {
+			toks = append(toks, ch...)
+		}
+		toks = append(toks, c.Query...)
+		res := m.Prefill(toks, 0, false)
+		if v.Name(qamodel.Answer(m, res.Cache, res.Hidden.Row(len(toks)-1))) == c.Answer {
+			correct++
+		}
+	}
+	if correct < 8 {
+		t.Fatalf("only %d/10 extended cases answerable with the full pool", correct)
+	}
+}
+
+func TestExtendedChunkReuseAcrossQueries(t *testing.T) {
+	// The evaluator's chunk-KV memoisation must hit across queries: after
+	// answering all cases, far fewer distinct chunk prefills than
+	// (cases × retrieved chunks) should have happened. We detect this
+	// structurally: distinct chunk contents in the pool bound the cache.
+	_, v := qamodel.Build()
+	cfg := MusiqueExtended()
+	cfg.Queries = 20
+	ds := GenerateExtended(v, cfg)
+	distinct := map[string]bool{}
+	for _, c := range ds.Cases {
+		for _, ch := range c.Chunks {
+			distinct[v.Text(ch)] = true
+		}
+	}
+	if len(distinct) != cfg.Chunks {
+		t.Fatalf("pool should have %d distinct chunks, got %d", cfg.Chunks, len(distinct))
+	}
+}

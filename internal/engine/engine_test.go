@@ -1,0 +1,229 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/blend"
+	"repro/internal/device"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/qamodel"
+	"repro/internal/tensor"
+)
+
+var testCfg = model.Config{
+	Name: "engine-test", Layers: 6, Heads: 4, KVHeads: 2, HeadDim: 8,
+	FFNDim: 32, Vocab: 64, RotaryDims: 8, RopeBase: 10000, Norm: model.NormRMS, Eps: 1e-5,
+}
+
+func makeRequest(m *model.Model, nChunks, chunkLen, suffixLen int, seed int64) Request {
+	g := tensor.NewRNG(seed)
+	var req Request
+	for c := 0; c < nChunks; c++ {
+		toks := make([]int, chunkLen)
+		for i := range toks {
+			toks[i] = g.Intn(m.Cfg.Vocab)
+		}
+		req.ChunkTokens = append(req.ChunkTokens, toks)
+		req.Chunks = append(req.Chunks, m.Prefill(toks, 0, false).Cache)
+	}
+	suffix := make([]int, suffixLen)
+	for i := range suffix {
+		suffix[i] = g.Intn(m.Cfg.Vocab)
+	}
+	req.SuffixTokens = suffix
+	return req
+}
+
+func TestEngineMatchesBlendFusor(t *testing.T) {
+	// The pipelined engine must produce the same fused cache and suffix
+	// hidden states as the reference fusor run with the same (flat)
+	// selection policy.
+	m := model.NewRandom(testCfg, 1)
+	req := makeRequest(m, 3, 10, 5, 2)
+
+	eng := Config{Model: m, Device: device.CPURAM, RecomputeRatio: 0.2, Pipelined: true}
+	got, err := eng.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := blend.Fuse(blend.Input{
+		Model: m, Chunks: req.Chunks, ChunkTokens: req.ChunkTokens,
+		SuffixTokens: req.SuffixTokens,
+	}, blend.Options{
+		Mode: blend.ModeBlend, RecomputeRatio: 0.2,
+		ScheduleDecay: []float64{1.0}, DisableGradualFilter: true,
+	})
+
+	for li := 0; li < testCfg.Layers; li++ {
+		if tensor.MaxAbsDiff(got.Cache.K[li].Data, ref.Cache.K[li].Data) > 1e-4 {
+			t.Fatalf("layer %d keys differ from reference fusor", li)
+		}
+		if tensor.MaxAbsDiff(got.Cache.V[li].Data, ref.Cache.V[li].Data) > 1e-4 {
+			t.Fatalf("layer %d values differ from reference fusor", li)
+		}
+	}
+	if tensor.MaxAbsDiff(got.Hidden.Data, ref.Hidden.Data) > 1e-4 {
+		t.Fatal("suffix hidden differs from reference fusor")
+	}
+	if got.SuffixStart != ref.SuffixStart {
+		t.Fatal("suffix start mismatch")
+	}
+}
+
+func TestEnginePipelinedEqualsSequentialOutput(t *testing.T) {
+	m := model.NewRandom(testCfg, 3)
+	req := makeRequest(m, 2, 8, 4, 4)
+	pip, err := Config{Model: m, Device: device.NVMeSSD, RecomputeRatio: 0.3, Pipelined: true}.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Config{Model: m, Device: device.NVMeSSD, RecomputeRatio: 0.3, Pipelined: false}.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 0; li < testCfg.Layers; li++ {
+		if tensor.MaxAbsDiff(pip.Cache.K[li].Data, seq.Cache.K[li].Data) != 0 {
+			t.Fatalf("pipelining changed layer %d keys", li)
+		}
+	}
+	if tensor.MaxAbsDiff(pip.Hidden.Data, seq.Hidden.Data) != 0 {
+		t.Fatal("pipelining changed outputs")
+	}
+}
+
+func TestEngineOverlapSavesWallTime(t *testing.T) {
+	// With a slow simulated device, the pipelined engine must finish well
+	// before the sequential one, and its layer timeline must show layer
+	// i+1's load finishing before layer i's compute would have allowed a
+	// sequential start.
+	// Pipelining only pays when per-layer compute and per-layer loading
+	// are on the same scale, so this test uses a wider model (real
+	// compute in the tens of milliseconds per layer) and a device tuned
+	// so loading takes a comparable time.
+	bigCfg := model.Config{
+		Name: "engine-overlap", Layers: 6, Heads: 8, KVHeads: 8, HeadDim: 32,
+		FFNDim: 512, Vocab: 64, RotaryDims: 16, RopeBase: 10000,
+		Norm: model.NormRMS, Eps: 1e-5,
+	}
+	m := model.NewRandom(bigCfg, 5)
+	req := makeRequest(m, 3, 60, 8, 6)
+	scale := time.Second
+	var layerBytes int64
+	for _, c := range req.Chunks {
+		layerBytes += c.LayerBytes()
+	}
+	// Loading one layer ≈ 30ms of real time at this scale.
+	slow := device.Device{Name: "test-slow", ReadBW: float64(layerBytes) / 0.03, WriteBW: 1e9, Latency: 0}
+
+	pip, err := Config{Model: m, Device: slow, RecomputeRatio: 0.2,
+		Pipelined: true, TimeScale: scale}.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Config{Model: m, Device: slow, RecomputeRatio: 0.2,
+		Pipelined: false, TimeScale: scale}.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pip.Wall >= seq.Wall*85/100 {
+		t.Fatalf("pipelining saved too little: pipelined %v vs sequential %v", pip.Wall, seq.Wall)
+	}
+	// Genuine overlap: some layer's load completed before the previous
+	// layer's compute finished.
+	overlapped := false
+	for li := 1; li < testCfg.Layers; li++ {
+		if pip.Layers[li].LoadDone < pip.Layers[li-1].ComputeDone {
+			overlapped = true
+		}
+	}
+	if !overlapped {
+		t.Fatal("no overlap observed in the layer timeline")
+	}
+}
+
+func TestEngineTimelineMonotone(t *testing.T) {
+	m := model.NewRandom(testCfg, 7)
+	req := makeRequest(m, 2, 8, 4, 8)
+	res, err := Config{Model: m, Device: device.CPURAM, RecomputeRatio: 0.2, Pipelined: true}.Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := 0; li < testCfg.Layers; li++ {
+		if res.Layers[li].ComputeDone < res.Layers[li].LoadDone {
+			t.Fatalf("layer %d computed before its KV was loaded", li)
+		}
+		if li > 0 && res.Layers[li].ComputeDone < res.Layers[li-1].ComputeDone {
+			t.Fatalf("layer %d finished before layer %d", li, li-1)
+		}
+	}
+	if res.Wall < res.Layers[testCfg.Layers-1].ComputeDone {
+		t.Fatal("wall time earlier than last layer completion")
+	}
+}
+
+func TestEngineRecoversCrossChunkAnswer(t *testing.T) {
+	// End-to-end on the constructed model: the pipelined engine performs
+	// the same repair as the reference fusor.
+	m, v := qamodel.Build()
+	qent, bridge, ans := v.Entities[0], v.Entities[1], v.Entities[12]
+	relA, relB := v.RelA[0], v.RelB[0]
+	chunkA := append([]int{v.Period}, append(v.Anchor(1, relB, bridge), v.Fact(bridge, relA, qent)...)...)
+	chunkB := append([]int{v.Period}, v.ValueHalf(ans, 1)...)
+	var caches []*kvcache.Cache
+	for _, c := range [][]int{chunkA, chunkB} {
+		caches = append(caches, m.Prefill(c, 0, false).Cache)
+	}
+	res, err := Config{
+		Model: m, Device: device.NVMeSSD, RecomputeRatio: 0.2,
+		SelectionLayer: qamodel.SelectionLayer, Pipelined: true,
+	}.Run(Request{
+		Chunks: caches, ChunkTokens: [][]int{chunkA, chunkB},
+		SuffixTokens: v.QueryTokens(relA, qent, relB),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := qamodel.Answer(m, res.Cache, res.Hidden.Row(res.Hidden.Rows-1))
+	if got != ans {
+		t.Fatalf("engine answered %q want %q", v.Name(got), v.Name(ans))
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	if _, err := (Config{}).Run(Request{}); err == nil {
+		t.Fatal("nil model must error")
+	}
+	m := model.NewRandom(testCfg, 9)
+	req := makeRequest(m, 2, 8, 4, 10)
+	req.ChunkTokens = req.ChunkTokens[:1]
+	if _, err := (Config{Model: m, Device: device.CPURAM}).Run(req); err == nil {
+		t.Fatal("mismatched chunks must error")
+	}
+	bad := makeRequest(m, 1, 8, 4, 11)
+	bad.ChunkTokens[0] = bad.ChunkTokens[0][:4]
+	if _, err := (Config{Model: m, Device: device.CPURAM}).Run(bad); err == nil {
+		t.Fatal("cache/token length mismatch must error")
+	}
+}
+
+func TestEngineInputsNotMutated(t *testing.T) {
+	m := model.NewRandom(testCfg, 13)
+	req := makeRequest(m, 2, 8, 4, 14)
+	before := make([]*kvcache.Cache, len(req.Chunks))
+	for i, c := range req.Chunks {
+		before[i] = c.Clone()
+	}
+	if _, err := (Config{Model: m, Device: device.CPURAM, RecomputeRatio: 0.2, Pipelined: true}).Run(req); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range req.Chunks {
+		for li := 0; li < testCfg.Layers; li++ {
+			if tensor.MaxAbsDiff(c.K[li].Data, before[i].K[li].Data) != 0 {
+				t.Fatalf("chunk %d mutated", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package experiments contains one runner per figure of the paper's
+// evaluation (§3 and §7). Each runner returns a Table whose rows carry the
+// same series the paper plots; cmd/cacheblend prints them and
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+//
+// Two measurement domains are combined, as documented in DESIGN.md:
+// generation quality is measured for real on the constructed QA model
+// (scaled-down contexts, real attention math), while TTFT/throughput come
+// from the calibrated timing model and the discrete-event serving
+// simulator speaking for the paper's full-size models.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/qamodel"
+	"repro/internal/retrieval"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// QualityEval measures one scheme's mean quality on a dataset with top-k
+// retrieval, using at most maxCases cases (0 = all).
+type QualityEval struct {
+	Ev *baselines.Evaluator
+	DS *dataset.Dataset
+	// TopK is the number of retrieved chunks per query.
+	TopK int
+	// MaxCases truncates the dataset (0 = all cases).
+	MaxCases int
+}
+
+// cases returns the evaluation slice.
+func (q QualityEval) cases() []dataset.Case {
+	cs := q.DS.Cases
+	if q.MaxCases > 0 && q.MaxCases < len(cs) {
+		cs = cs[:q.MaxCases]
+	}
+	return cs
+}
+
+// Score returns the dataset-metric mean for scheme s. Cases run in
+// parallel; the evaluator memoises chunk KV caches across schemes.
+func (q QualityEval) Score(s baselines.Scheme) float64 {
+	cs := q.cases()
+	scores := make([]float64, len(cs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 4)
+	for i := range cs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			scores[i] = q.scoreCase(cs[i], s)
+		}(i)
+	}
+	wg.Wait()
+	return metrics.Mean(scores)
+}
+
+func (q QualityEval) scoreCase(c dataset.Case, s baselines.Scheme) float64 {
+	r := retrieval.NewRetriever(128, c.ChunkTexts)
+	ids := r.TopK(c.QueryText, q.TopK)
+	chunks := make([][]int, 0, len(ids))
+	for _, id := range ids {
+		chunks = append(chunks, c.Chunks[id])
+	}
+	run := q.Ev.Answer(chunks, c.Query, s)
+	pred := strings.Fields(run.Pred)
+	ref := strings.Fields(c.Answer)
+	if q.DS.Metric == "rouge-l" {
+		return metrics.RougeL(pred, ref)
+	}
+	return metrics.F1(pred, ref)
+}
+
+// NewQAWorld builds the shared constructed model, vocabulary and
+// evaluator used by the quality experiments.
+func NewQAWorld() (*baselines.Evaluator, *qamodel.Vocab) {
+	m, v := qamodel.Build()
+	return baselines.NewEvaluator(m, v), v
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+func TestTableFormatAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:  "t",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"n1"},
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "== t ==") || !strings.Contains(out, "long-header") ||
+		!strings.Contains(out, "note: n1") {
+		t.Fatalf("format output malformed:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "a,long-header\n1,2\n") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("entry %d is %q want %q", i, all[i].ID, id)
+		}
+		if all[i].Desc == "" || all[i].Run == nil {
+			t.Fatalf("entry %q incomplete", id)
+		}
+	}
+	if _, ok := ByID("12"); !ok {
+		t.Fatal("ByID failed")
+	}
+	if _, ok := ByID("99"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func cell(t *testing.T, tab *Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tab.Header {
+		if h == col {
+			return tab.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not found", col)
+	return ""
+}
+
+func num(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad number %q", s)
+	}
+	return v
+}
+
+func TestFig06Shape(t *testing.T) {
+	tab := Fig06()
+	// Per model: deviation at 15% HKVD must be far below ratio 0 and below
+	// random selection at the same ratio.
+	for i, row := range tab.Rows {
+		if row[1] != "15%" {
+			continue
+		}
+		h := num(t, cell(t, tab, i, "hkvd-selection"))
+		r := num(t, cell(t, tab, i, "random-selection"))
+		if h >= 0.8 {
+			t.Fatalf("%s: 15%% HKVD deviation %.2f barely moved from 1.0", row[0], h)
+		}
+		if h >= r {
+			t.Fatalf("%s: HKVD %.2f should beat random %.2f", row[0], h, r)
+		}
+	}
+}
+
+func TestFig07HeavyTail(t *testing.T) {
+	tab := Fig07()
+	for i := range tab.Rows {
+		p50 := num(t, cell(t, tab, i, "p50"))
+		p95 := num(t, cell(t, tab, i, "p95"))
+		if p95 < 1.5*p50 {
+			t.Fatalf("row %d: deviation distribution not heavy-tailed (p50 %.3f p95 %.3f)", i, p50, p95)
+		}
+	}
+}
+
+func TestFig08Correlation(t *testing.T) {
+	tab := Fig08()
+	var sum float64
+	for i := range tab.Rows {
+		sum += num(t, cell(t, tab, i, "spearman"))
+	}
+	avg := sum / float64(len(tab.Rows))
+	if avg < 0.6 {
+		t.Fatalf("mean neighbouring-layer rank correlation %.2f too low for Insight 2", avg)
+	}
+}
+
+func TestFig10NoExtraDelayBelowThreshold(t *testing.T) {
+	tab := Fig10()
+	// At 15% on the 1 GB/s SSD the extra delay column must be ~0.
+	for i, row := range tab.Rows {
+		if row[0] == "15%" {
+			if num(t, cell(t, tab, i, "extra-vs-loading")) > 1e-3 {
+				t.Fatalf("15%% should be hidden by loading: %v", row)
+			}
+		}
+	}
+	b := Fig10b()
+	if len(b.Notes) != 3 {
+		t.Fatalf("device-choice notes missing: %v", b.Notes)
+	}
+}
+
+func TestFig15SpeedupsReasonable(t *testing.T) {
+	tab := Fig15()
+	for i := range tab.Rows {
+		sp := num(t, cell(t, tab, i, "speedup"))
+		if sp < 1.5 || sp > 20 {
+			t.Fatalf("row %d speedup %.2f out of plausible range", i, sp)
+		}
+	}
+}
+
+func TestFig12SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model quality runs")
+	}
+	tab := Fig12(6)
+	// 4 datasets × 3 models × 4 schemes rows.
+	if len(tab.Rows) != 4*3*4 {
+		t.Fatalf("unexpected row count %d", len(tab.Rows))
+	}
+	// For every dataset/model, cacheblend quality ≥ reuse quality and
+	// cacheblend TTFT < full TTFT.
+	byKey := map[string]map[baselines.Scheme][]string{}
+	for _, row := range tab.Rows {
+		key := row[0] + "/" + row[1]
+		if byKey[key] == nil {
+			byKey[key] = map[baselines.Scheme][]string{}
+		}
+		byKey[key][baselines.Scheme(row[2])] = row
+	}
+	for key, group := range byKey {
+		blendQ := num(t, group[baselines.CacheBlend][3])
+		reuseQ := num(t, group[baselines.FullKVReuse][3])
+		if blendQ < reuseQ {
+			t.Fatalf("%s: blend quality %.2f below reuse %.2f", key, blendQ, reuseQ)
+		}
+		blendT := num(t, group[baselines.CacheBlend][5])
+		fullT := num(t, group[baselines.FullRecompute][5])
+		if blendT >= fullT {
+			t.Fatalf("%s: blend TTFT %.3f not below full %.3f", key, blendT, fullT)
+		}
+	}
+}

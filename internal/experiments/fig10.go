@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+// Fig10 reproduces Figure 10: (a) TTFT versus recompute ratio with and
+// without pipelining loading and recompute — below the device's hiding
+// threshold extra recompute is free; (b) per-device loading delay against
+// the 15% recompute delay, and the controller's cheapest-viable choice.
+func Fig10() *Table {
+	const L = 4096
+	spec := timing.Mistral7B
+	t := &Table{
+		Title:  "Figure 10(a): TTFT vs recompute ratio (Mistral-7B, 4K ctx, 1 GB/s SSD)",
+		Header: []string{"ratio", "ttft-pipelined(s)", "ttft-sequential(s)", "extra-vs-loading"},
+	}
+	d := device.SlowSSD
+	ctrl := controller.Controller{Spec: spec}
+	for _, r := range []float64{0.05, 0.10, 0.15, 0.20, 0.30, 0.50, 0.80, 1.0} {
+		with := spec.TTFT(r, L, d, true)
+		without := spec.TTFT(r, L, d, false)
+		t.Rows = append(t.Rows, []string{
+			pct(r), f3(with), f3(without), f3(ctrl.ExtraDelay(r, L, d)),
+		})
+	}
+	best := ctrl.PickRatio(L, d)
+	t.Notes = append(t.Notes,
+		"controller's no-extra-delay ratio for this device: "+pct(best))
+	return t
+}
+
+// Fig10b is the device-choice half of Figure 10: which storage devices a
+// fixed 15% recompute ratio can hide, and which the controller picks.
+func Fig10b() *Table {
+	const L = 4096
+	t := &Table{
+		Title:  "Figure 10(b): storage device choice at 15% recompute",
+		Header: []string{"model", "device", "load/layer(ms)", "recompute/layer(ms)", "hidden", "$/GB/mo"},
+	}
+	for _, spec := range timing.Specs() {
+		ctrl := controller.Controller{Spec: spec}
+		comp := spec.RecomputeLayer(0.15, L)
+		for _, d := range device.Tiers() {
+			load := spec.LoadLayer(L, d)
+			hidden := "no"
+			if load <= comp {
+				hidden = "yes"
+			}
+			t.Rows = append(t.Rows, []string{
+				spec.Name, d.Name,
+				f3(load * 1000), f3(comp * 1000), hidden, f3(d.CostPerGBMonth),
+			})
+		}
+		pick, ok := ctrl.PickDevice(device.Tiers(), L, 0.15)
+		note := spec.Name + ": controller picks " + pick.Name
+		if !ok {
+			note += " (no device fully hides loading)"
+		}
+		t.Notes = append(t.Notes, note)
+	}
+	return t
+}

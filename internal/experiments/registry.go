@@ -1,0 +1,58 @@
+package experiments
+
+// RunOpts tunes experiment sizes: smaller values keep smoke runs fast,
+// zero values mean "paper-scale defaults".
+type RunOpts struct {
+	// MaxCases caps dataset cases per quality experiment (0 = preset).
+	MaxCases int
+	// Requests sets the serving-simulation length (0 = default 1500).
+	Requests int
+}
+
+// Entry describes one reproducible experiment.
+type Entry struct {
+	// ID is the figure identifier ("2", "6", ... "17").
+	ID string
+	// Desc is a one-line description.
+	Desc string
+	// Run produces the result tables.
+	Run func(o RunOpts) []*Table
+}
+
+// All lists every reproduced figure in paper order.
+func All() []Entry {
+	return []Entry{
+		{"2", "quality vs number of retrieved chunks (full recompute vs full reuse)",
+			func(o RunOpts) []*Table { return []*Table{Fig02(o.MaxCases)} }},
+		{"6", "attention deviation vs recompute ratio (+ random-selection ablation)",
+			func(o RunOpts) []*Table { return []*Table{Fig06()} }},
+		{"7", "per-token KV deviation distribution",
+			func(o RunOpts) []*Table { return []*Table{Fig07()} }},
+		{"8", "KV deviation rank correlation between layers",
+			func(o RunOpts) []*Table { return []*Table{Fig08()} }},
+		{"10", "pipelining and storage-device choice",
+			func(o RunOpts) []*Table { return []*Table{Fig10(), Fig10b()} }},
+		{"12", "quality and TTFT across datasets, models and schemes",
+			func(o RunOpts) []*Table { return []*Table{Fig12(o.MaxCases)} }},
+		{"13", "CacheBlend vs MapReduce / MapRerank",
+			func(o RunOpts) []*Table { return []*Table{Fig13(o.MaxCases)} }},
+		{"14", "TTFT vs request rate (serving simulation) + extended-workload quality",
+			func(o RunOpts) []*Table { return []*Table{Fig14(o.Requests), Fig14Quality(o.MaxCases)} }},
+		{"15", "sensitivity to chunk count, chunk length, batch size",
+			func(o RunOpts) []*Table { return []*Table{Fig15()} }},
+		{"16", "quality vs TTFT across recompute ratios",
+			func(o RunOpts) []*Table { return []*Table{Fig16(o.MaxCases)} }},
+		{"17", "storage-device sensitivity (RAM vs slow disk)",
+			func(o RunOpts) []*Table { return []*Table{Fig17(o.MaxCases)} }},
+	}
+}
+
+// ByID returns the entry for a figure id.
+func ByID(id string) (Entry, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}

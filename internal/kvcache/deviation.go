@@ -1,0 +1,92 @@
+package kvcache
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// KVDeviation returns the per-token KV deviation between caches a and b on
+// layer i: Δkv(KVᵢ, KVᵢᶠᵘˡˡ)[j] in the paper's notation (Table 1). Each
+// token's deviation is the L2 norm of the concatenated (K,V) difference,
+// measuring how far that token's stored KV is from the ground truth.
+func KVDeviation(a, b *Cache, layer int) []float64 {
+	if a.Tokens != b.Tokens || a.KVDim != b.KVDim {
+		panic(fmt.Sprintf("kvcache: deviation geometry mismatch %d/%d vs %d/%d",
+			a.Tokens, a.KVDim, b.Tokens, b.KVDim))
+	}
+	out := make([]float64, a.Tokens)
+	for j := 0; j < a.Tokens; j++ {
+		dk := tensor.L2Diff(a.RowK(layer, j), b.RowK(layer, j))
+		dv := tensor.L2Diff(a.RowV(layer, j), b.RowV(layer, j))
+		out[j] = math.Sqrt(dk*dk + dv*dv)
+	}
+	return out
+}
+
+// AttentionDeviation returns Δattn(A, Afull): the L2 norm of the difference
+// between two forward-attention matrices, normalised by the norm of the
+// reference so values are comparable across models and sequence lengths
+// (0 = identical, ~1 = uncorrelated).
+func AttentionDeviation(a, ref *tensor.Matrix) float64 {
+	if a.Rows != ref.Rows || a.Cols != ref.Cols {
+		panic(fmt.Sprintf("kvcache: attention shape mismatch %dx%d vs %dx%d",
+			a.Rows, a.Cols, ref.Rows, ref.Cols))
+	}
+	var diff, norm float64
+	for i := range ref.Data {
+		d := float64(a.Data[i]) - float64(ref.Data[i])
+		diff += d * d
+		norm += float64(ref.Data[i]) * float64(ref.Data[i])
+	}
+	if norm == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Sqrt(diff / norm)
+}
+
+// MeanDeviation returns the average of per-token deviations — the scalar
+// used when a single "how wrong is this cache" number is needed.
+func MeanDeviation(dev []float64) float64 {
+	if len(dev) == 0 {
+		return 0
+	}
+	var s float64
+	for _, d := range dev {
+		s += d
+	}
+	return s / float64(len(dev))
+}
+
+// TopKIndices returns the indices of the k largest deviations, in
+// decreasing order of deviation. Ties break toward the lower index so
+// selection is deterministic. k is clamped to len(dev).
+func TopKIndices(dev []float64, k int) []int {
+	if k > len(dev) {
+		k = len(dev)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(dev))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection sort: k is small relative to n in practice
+	// (10–20% of tokens), and determinism matters more than asymptotics
+	// at the sizes the simulator runs.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if dev[idx[j]] > dev[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}

@@ -1,0 +1,245 @@
+// Package kvstore implements the KV cache store of §5.1: a hash-addressed
+// map from chunk IDs to stored KV caches with capacity accounting, LRU (or
+// FIFO) eviction and hit/miss statistics. Each store sits on one simulated
+// storage device; loading delay is the device's read time for the entry.
+//
+// Writes can be performed asynchronously by a background writer goroutine,
+// mirroring the paper's implementation note that newly computed KV caches
+// are handed to a thread that persists them to disk in the background.
+package kvstore
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/device"
+)
+
+// Sized is anything whose storage footprint is known. *kvcache.Cache
+// implements it; the serving simulator stores plain byte sizes.
+type Sized interface{ SizeBytes() int64 }
+
+// Bytes is a payload that is just a size (used when only capacity
+// behaviour matters, e.g. in the serving simulator).
+type Bytes int64
+
+// SizeBytes returns the payload size.
+func (b Bytes) SizeBytes() int64 { return int64(b) }
+
+// Policy selects the eviction policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used entry (the paper's choice).
+	LRU Policy = iota
+	// FIFO evicts the oldest entry regardless of use (ablation).
+	FIFO
+)
+
+// Stats counts store activity.
+type Stats struct {
+	Hits, Misses, Puts, Evictions int64
+	BytesStored                   int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	id      chunk.ID
+	payload Sized
+	bytes   int64
+}
+
+// Store is a capacity-bounded KV cache store on one device. It is safe
+// for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	dev      device.Device
+	capacity int64
+	used     int64
+	policy   Policy
+	order    *list.List // front = most recently used
+	index    map[chunk.ID]*list.Element
+	stats    Stats
+
+	writeCh chan writeReq
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type writeReq struct {
+	id      chunk.ID
+	payload Sized
+}
+
+// New creates a store on dev holding at most capacity bytes. A
+// non-positive capacity means unbounded.
+func New(dev device.Device, capacity int64, policy Policy) *Store {
+	s := &Store{
+		dev:      dev,
+		capacity: capacity,
+		policy:   policy,
+		order:    list.New(),
+		index:    make(map[chunk.ID]*list.Element),
+		writeCh:  make(chan writeReq, 64),
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s
+}
+
+// writer drains asynchronous Put requests in the background.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.writeCh {
+		s.Put(req.id, req.payload)
+	}
+}
+
+// Close stops the background writer after draining pending writes.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.writeCh)
+	s.wg.Wait()
+}
+
+// Device returns the store's backing device.
+func (s *Store) Device() device.Device { return s.dev }
+
+// Get returns the payload for id if present, marking a hit and refreshing
+// recency; otherwise it records a miss.
+func (s *Store) Get(id chunk.ID) (Sized, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[id]
+	if !ok {
+		s.stats.Misses++
+		return nil, false
+	}
+	s.stats.Hits++
+	if s.policy == LRU {
+		s.order.MoveToFront(el)
+	}
+	return el.Value.(*entry).payload, true
+}
+
+// Contains reports presence without touching recency or stats.
+func (s *Store) Contains(id chunk.ID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[id]
+	return ok
+}
+
+// Put inserts or replaces the payload for id, evicting per policy until
+// the entry fits. Payloads larger than the whole capacity are rejected.
+func (s *Store) Put(id chunk.ID, payload Sized) error {
+	n := payload.SizeBytes()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capacity > 0 && n > s.capacity {
+		return fmt.Errorf("kvstore: payload %d bytes exceeds capacity %d", n, s.capacity)
+	}
+	if el, ok := s.index[id]; ok {
+		old := el.Value.(*entry)
+		s.used -= old.bytes
+		old.payload = payload
+		old.bytes = n
+		s.used += n
+		if s.policy == LRU {
+			s.order.MoveToFront(el)
+		}
+		s.evictLocked()
+		return nil
+	}
+	s.stats.Puts++
+	e := &entry{id: id, payload: payload, bytes: n}
+	s.index[id] = s.order.PushFront(e)
+	s.used += n
+	s.evictLocked()
+	s.stats.BytesStored = s.used
+	return nil
+}
+
+// PutAsync queues the write for the background writer (fire and forget),
+// like the paper's background torch.save thread. Falls back to a
+// synchronous Put once the store is closed.
+func (s *Store) PutAsync(id chunk.ID, payload Sized) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		s.Put(id, payload) //nolint:errcheck // best effort after close
+		return
+	}
+	s.writeCh <- writeReq{id: id, payload: payload}
+}
+
+// evictLocked evicts from the back until within capacity.
+func (s *Store) evictLocked() {
+	if s.capacity <= 0 {
+		return
+	}
+	for s.used > s.capacity {
+		back := s.order.Back()
+		if back == nil {
+			return
+		}
+		e := back.Value.(*entry)
+		s.order.Remove(back)
+		delete(s.index, e.id)
+		s.used -= e.bytes
+		s.stats.Evictions++
+	}
+	s.stats.BytesStored = s.used
+}
+
+// Used returns the current stored bytes.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.BytesStored = s.used
+	return st
+}
+
+// LoadTime returns the simulated seconds to read id's payload from the
+// backing device (0 if absent). It does not count as a Get.
+func (s *Store) LoadTime(id chunk.ID) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[id]
+	if !ok {
+		return 0
+	}
+	return s.dev.ReadTime(el.Value.(*entry).bytes)
+}

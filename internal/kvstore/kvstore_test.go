@@ -1,0 +1,205 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/device"
+)
+
+func id(i int) chunk.ID { return chunk.Hash("m", []int{i}) }
+
+func newTest(capacity int64, p Policy) *Store {
+	return New(device.NVMeSSD, capacity, p)
+}
+
+func TestPutGetHitMiss(t *testing.T) {
+	s := newTest(0, LRU)
+	defer s.Close()
+	if _, ok := s.Get(id(1)); ok {
+		t.Fatal("empty store must miss")
+	}
+	if err := s.Put(id(1), Bytes(100)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(id(1))
+	if !ok || got.SizeBytes() != 100 {
+		t.Fatal("get after put failed")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v want 0.5", st.HitRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := newTest(300, LRU)
+	defer s.Close()
+	for i := 1; i <= 3; i++ {
+		if err := s.Put(id(i), Bytes(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 1 so 2 becomes least recently used.
+	s.Get(id(1))
+	if err := s.Put(id(4), Bytes(100)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(id(2)) {
+		t.Fatal("LRU should have evicted id 2")
+	}
+	if !s.Contains(id(1)) || !s.Contains(id(3)) || !s.Contains(id(4)) {
+		t.Fatal("wrong eviction victim")
+	}
+	if s.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d want 1", s.Stats().Evictions)
+	}
+}
+
+func TestFIFOEvictionIgnoresRecency(t *testing.T) {
+	s := newTest(300, FIFO)
+	defer s.Close()
+	for i := 1; i <= 3; i++ {
+		s.Put(id(i), Bytes(100))
+	}
+	s.Get(id(1)) // should NOT protect id 1 under FIFO
+	s.Put(id(4), Bytes(100))
+	if s.Contains(id(1)) {
+		t.Fatal("FIFO should have evicted the oldest entry regardless of use")
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	s := newTest(0, LRU)
+	defer s.Close()
+	s.Put(id(1), Bytes(100))
+	s.Put(id(1), Bytes(250))
+	if s.Used() != 250 {
+		t.Fatalf("used = %d want 250", s.Used())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d want 1", s.Len())
+	}
+	if s.Stats().Puts != 1 {
+		t.Fatal("replace must not count as a new put")
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	s := newTest(100, LRU)
+	defer s.Close()
+	if err := s.Put(id(1), Bytes(101)); err == nil {
+		t.Fatal("oversize payload must be rejected")
+	}
+}
+
+func TestEvictionKeepsWithinCapacity(t *testing.T) {
+	s := newTest(1000, LRU)
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put(id(i), Bytes(90))
+	}
+	if s.Used() > 1000 {
+		t.Fatalf("used %d exceeds capacity", s.Used())
+	}
+	if s.Len() > 11 {
+		t.Fatalf("too many entries survived: %d", s.Len())
+	}
+}
+
+func TestPutAsyncLands(t *testing.T) {
+	s := newTest(0, LRU)
+	for i := 0; i < 20; i++ {
+		s.PutAsync(id(i), Bytes(10))
+	}
+	s.Close() // drains the writer
+	if s.Len() != 20 {
+		t.Fatalf("async writes lost: %d/20", s.Len())
+	}
+	// PutAsync after close degrades to synchronous put.
+	s.PutAsync(id(99), Bytes(10))
+	if !s.Contains(id(99)) {
+		t.Fatal("post-close PutAsync must still land")
+	}
+}
+
+func TestLoadTime(t *testing.T) {
+	s := New(device.SlowSSD, 0, LRU)
+	defer s.Close()
+	s.Put(id(1), Bytes(1e9))
+	got := s.LoadTime(id(1))
+	want := device.SlowSSD.ReadTime(1e9)
+	if got != want {
+		t.Fatalf("LoadTime=%v want %v", got, want)
+	}
+	if s.LoadTime(id(2)) != 0 {
+		t.Fatal("missing entry must load in 0")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := newTest(10000, LRU)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := id(i % 37)
+				if i%3 == 0 {
+					s.Put(k, Bytes(50))
+				} else {
+					s.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Used() > 10000 {
+		t.Fatal("capacity violated under concurrency")
+	}
+}
+
+func TestStatsBytesStored(t *testing.T) {
+	s := newTest(0, LRU)
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		s.Put(id(i), Bytes(7))
+	}
+	if got := s.Stats().BytesStored; got != 35 {
+		t.Fatalf("BytesStored=%d want 35", got)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := newTest(0, LRU)
+	s.Close()
+	s.Close() // must not panic
+}
+
+func TestManyDistinctIDs(t *testing.T) {
+	// Hash distinctness sanity at store scale.
+	s := newTest(0, LRU)
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		s.Put(chunk.Hash("m", []int{i, i * 7, i * 13}), Bytes(1))
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("collisions or lost entries: %d/1000", s.Len())
+	}
+}
+
+func TestDeviceAccessor(t *testing.T) {
+	s := New(device.CPURAM, 0, LRU)
+	defer s.Close()
+	if s.Device().Name != "cpu-ram" {
+		t.Fatal("Device accessor wrong")
+	}
+	_ = fmt.Sprintf("%v", s.Stats())
+}

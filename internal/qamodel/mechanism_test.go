@@ -1,0 +1,185 @@
+package qamodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// These tests pin the individual attention mechanisms of the constructed
+// model, beyond the end-to-end answers covered in qamodel_test.go.
+
+func TestSinkAbsorbsJoinLayerIdleQueries(t *testing.T) {
+	// A chunk-initial entity preceded by a sink must keep pKey/pVal clean
+	// (no self-delivery); without the preceding sink its own identity
+	// leaks in — the failure mode the sink design removes.
+	m, v := Build()
+	bob := v.Entities[1]
+	fact := v.Fact(v.Entities[12], v.RelB[0], bob)
+
+	withSink := append([]int{v.Period}, fact...)
+	res := m.Prefill(withSink, 0, false)
+	_, mag := fieldArgmax(res.Hidden.Row(1), offPKey, E) // "paris" value token
+	if mag > 0.1 {
+		t.Fatalf("sink-prefixed chunk leaked pKey %.2f", mag)
+	}
+
+	bare := fact // no sink: position 0 can only attend itself
+	res2 := m.Prefill(bare, 0, false)
+	_, mag2 := fieldArgmax(res2.Hidden.Row(0), offPKey, E)
+	if mag2 < 0.5 {
+		t.Fatalf("expected self-delivery without a leading sink, got %.2f", mag2)
+	}
+}
+
+func TestQueryGatherDistances(t *testing.T) {
+	// The "?" must pick up exactly its own query's qent / relA / relB,
+	// even with a decoy query-shaped token run earlier in the context.
+	m, v := Build()
+	decoy := v.QueryTokens(v.RelA[1], v.Entities[5], v.RelB[2])
+	ctx := append([]int{v.Period}, v.Fact(v.Entities[13], v.RelB[1], v.Entities[2])...)
+	ctx = append(ctx, decoy...)
+	query := v.QueryTokens(v.RelA[0], v.Entities[0], v.RelB[0])
+	toks := append(append([]int{}, ctx...), query...)
+
+	res := m.Prefill(toks, 0, false)
+	q := res.Hidden.Row(len(toks) - 1)
+	if slot, mag := fieldArgmax(q, offSCVal, E); slot != 0 || mag < 0.8 {
+		t.Fatalf("qent gather wrong: slot %d mag %.2f", slot, mag)
+	}
+	if slot, mag := fieldArgmax(q, offSCRel, R); slot != len(v.RelA) || mag < 0.8 {
+		t.Fatalf("relB gather wrong: slot %d mag %.2f", slot, mag)
+	}
+	if slot, mag := fieldArgmax(q, offPRel, R); slot != 0 || mag < 0.8 {
+		t.Fatalf("relA gather wrong: slot %d mag %.2f", slot, mag)
+	}
+}
+
+func TestRecordsSurviveDistractorPressure(t *testing.T) {
+	// Pile distractor facts around the answer path; full prefill must
+	// still answer for any distractor arrangement.
+	f := func(seed int64) bool {
+		m, v := Build()
+		g := tensor.NewRNG(seed)
+		qent, bridge, ans := v.Entities[0], v.Entities[1], v.Entities[12]
+		relA, relB := v.RelA[0], v.RelB[0]
+		var toks []int
+		toks = append(toks, v.Period)
+		addDistract := func() {
+			subj := v.Entities[2+g.Intn(8)]
+			val := v.Entities[13+g.Intn(8)]
+			rel := v.RelB[1+g.Intn(2)] // never the query's relB
+			toks = append(toks, v.Fact(val, rel, subj)...)
+		}
+		for i := 0; i < 2+g.Intn(3); i++ {
+			addDistract()
+		}
+		toks = append(toks, v.Fact(bridge, relA, qent)...)
+		for i := 0; i < 1+g.Intn(3); i++ {
+			addDistract()
+		}
+		toks = append(toks, v.Fact(ans, relB, bridge)...)
+		for i := 0; i < g.Intn(3); i++ {
+			addDistract()
+		}
+		toks = append(toks, v.QueryTokens(relA, qent, relB)...)
+		res := m.Prefill(toks, 0, false)
+		return Answer(m, res.Cache, res.Hidden.Row(len(toks)-1)) == ans
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkPositionInvariance(t *testing.T) {
+	// The same fused input must give the same answer whether the answer
+	// facts sit early or late in the context (RoPE re-rotation and
+	// content-based lookups make records position-independent).
+	m, v := Build()
+	qent, bridge, ans := v.Entities[0], v.Entities[1], v.Entities[12]
+	relA, relB := v.RelA[0], v.RelB[0]
+	path := append(v.Fact(bridge, relA, qent), v.Fact(ans, relB, bridge)...)
+	pad := append([]int{v.Period}, v.Fact(v.Entities[13], v.RelB[1], v.Entities[2])...)
+	pad = append(pad, v.Fact(v.Entities[14], v.RelB[2], v.Entities[3])...)
+
+	early := append(append([]int{v.Period}, path...), pad...)
+	late := append(append([]int{}, pad...), path...)
+	query := v.QueryTokens(relA, qent, relB)
+
+	for name, ctx := range map[string][]int{"early": early, "late": late} {
+		toks := append(append([]int{}, ctx...), query...)
+		res := m.Prefill(toks, 0, false)
+		if got := Answer(m, res.Cache, res.Hidden.Row(len(toks)-1)); got != ans {
+			t.Fatalf("%s placement answered %q want %q", name, v.Name(got), v.Name(ans))
+		}
+	}
+}
+
+func TestDanglingHalvesAreInert(t *testing.T) {
+	// An anchor whose value half never appears (or vice versa) must not
+	// corrupt an unrelated whole-fact answer.
+	m, v := Build()
+	qent, bridge, ans := v.Entities[0], v.Entities[1], v.Entities[12]
+	relA, relB := v.RelA[0], v.RelB[0]
+	toks := []int{v.Period}
+	toks = append(toks, v.Anchor(2, relB, v.Entities[5])...) // dangling anchor
+	toks = append(toks, v.Fact(bridge, relA, qent)...)
+	toks = append(toks, v.ValueHalf(v.Entities[15], 3)...) // dangling value half
+	toks = append(toks, v.Fact(ans, relB, bridge)...)
+	toks = append(toks, v.QueryTokens(relA, qent, relB)...)
+	res := m.Prefill(toks, 0, false)
+	if got := Answer(m, res.Cache, res.Hidden.Row(len(toks)-1)); got != ans {
+		t.Fatalf("dangling halves corrupted the answer: got %q want %q", v.Name(got), v.Name(ans))
+	}
+}
+
+func TestTwoSplitFactsIndependentRoles(t *testing.T) {
+	// Two split facts with different roles in interleaved chunks must
+	// both resolve to their own partners.
+	m, v := Build()
+	k1, a1 := v.Entities[1], v.Entities[12]
+	k2, a2 := v.Entities[2], v.Entities[13]
+	relB := v.RelB[0]
+	toks := []int{v.Period}
+	toks = append(toks, v.Anchor(0, relB, k1)...)
+	toks = append(toks, v.Anchor(1, v.RelB[1], k2)...)
+	toks = append(toks, v.ValueHalf(a1, 0)...)
+	toks = append(toks, v.ValueHalf(a2, 1)...)
+	res := m.Prefill(toks, 0, false)
+
+	// The value halves joined to their own anchors.
+	vh1 := res.Hidden.Row(11) // the-chief-0
+	if slot, mag := fieldArgmax(vh1, offPKey, E); slot != v.EntityCode(k1) || mag < 1.0 {
+		t.Fatalf("role-0 joined key slot %d mag %.2f", slot, mag)
+	}
+	vh2 := res.Hidden.Row(15) // the-chief-1
+	if slot, mag := fieldArgmax(vh2, offPKey, E); slot != v.EntityCode(k2) || mag < 1.0 {
+		t.Fatalf("role-1 joined key slot %d mag %.2f", slot, mag)
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	_, v := Build()
+	q := v.QueryTokens(v.RelA[1], v.Entities[7], v.RelB[2])
+	relA, qent, relB, ok := v.ParseQuery(append([]int{v.Topics[0], v.Period}, q...))
+	if !ok || relA != v.RelA[1] || qent != v.Entities[7] || relB != v.RelB[2] {
+		t.Fatalf("ParseQuery got %d %d %d ok=%v", relA, qent, relB, ok)
+	}
+	if _, _, _, ok := v.ParseQuery([]int{v.Period}); ok {
+		t.Fatal("short input must not parse")
+	}
+	bad := append([]int{}, q...)
+	bad[len(bad)-5] = v.Period // corrupt the dash
+	if _, _, _, ok := v.ParseQuery(bad); ok {
+		t.Fatal("malformed query must not parse")
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	_, v := Build()
+	got := v.Text(v.Fact(v.Entities[12], v.RelB[0], v.Entities[0]))
+	if got != "paris based-in alice ." {
+		t.Fatalf("Text rendering wrong: %q", got)
+	}
+}

@@ -1,0 +1,585 @@
+// Package qamodel builds a transformer with hand-constructed weights that
+// performs two-hop entity question answering through attention alone. It is
+// the reproduction's stand-in for a pretrained LLM: answer quality is a real
+// measurement (F1 against ground truth), not a proxy, and — crucially — the
+// quality *causally depends on cross-chunk attention*, which is exactly the
+// effect CacheBlend's selective recompute must preserve (paper §3.3, Figures
+// 3 and 4).
+//
+// # World model
+//
+// Text is built from facts of the form "<value> <rel> <subject> ." meaning
+// rel(subject) = value. A two-hop question "query relA - : qent relB ?" asks
+// for relB(relA(qent)): hop 1 finds the bridge entity via a fact
+// "<bridge> <relA> <qent> .", hop 2 finds the answer via
+// "<answer> <relB> <bridge> .".
+//
+// A hop-2 fact can be *split* across two chunks through a role indirection:
+//
+//	anchor: "<chief-i> <relB> <bridge> ."    (key + relation, one chunk)
+//	value:  "<answer> fills <the-chief-i> ." (the answer, another chunk)
+//
+// The anchor half carries the record key (bridge, relB) but an empty value;
+// the value half carries the answer but neither key nor queried relation
+// ("fills" is never looked up). Joining the halves requires attention
+// BETWEEN chunks: whichever half appears later in the fused input attends
+// to the earlier half at layer 1 and completes its record. Chunk-local KV
+// precompute (full KV reuse) cannot perform this join, so the lookup either
+// hits a key with an empty payload or never sees the answer at all;
+// CacheBlend recomputes the joining token (it has the highest KV deviation)
+// and recovers the answer.
+//
+// # Mechanism by layer
+//
+//	L0 GATHER:  each fact's subject token collects its fact's value and
+//	            relation via short-range attention (RoPE phase-shifted
+//	            kernels peaked at the right relative offset). The query's
+//	            "?" token collects qent / relA / relB the same way.
+//	L1 JOIN:    role references and declarations find each other by role
+//	            code (content match) and exchange fields; both orders work.
+//	L2 RECORDS+HOP1: every token's K/V expose its (key, rel) → value
+//	            record; "?" looks up (qent, relA) and stores the bridge.
+//	L3 RECORDS+HOP2: "?" looks up (bridge, relB) and stores the answer,
+//	            which the LM head reads out as a single generated token.
+//
+// Cross-chunk information first lands in the residual stream at L1, so the
+// blend fusor must use SelectionLayer 2 for this model (KV deviation is
+// first visible in L2's record projections).
+package qamodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Geometry of the constructed model.
+const (
+	// E is the entity code width (one-hot): at most E distinct entities.
+	E = 24
+	// R is the relation code width (one-hot).
+	R = 6
+	// L is the role code width (one-hot): at most L split facts per input.
+	L = 5
+
+	// Heads and HeadDim define the hidden width Heads*HeadDim = 160.
+	Heads   = 4
+	HeadDim = 40
+	// RotaryDims rotates 4 planes per head; the gather kernels use planes
+	// 0 (θ=1), 1 (θ≈0.105) and 2 (θ≈0.011).
+	RotaryDims = 8
+	// RopeBase gives θ₁ = base^(-1/4) ≈ 0.105.
+	RopeBase = 8200
+	// Layers: gather, join, records+hop1, records+hop2.
+	Layers = 4
+	// SelectionLayer is where the blend fusor should measure KV deviation
+	// for this model (see the package comment).
+	SelectionLayer = 2
+)
+
+// Residual-stream field offsets (hidden width 160).
+const (
+	offEID      = 0   // E: entity identity (embedding)
+	offRID      = 24  // R: relation identity (embedding)
+	offRole     = 30  // L: role code (chief-i and the-chief-i embeddings)
+	offRoleR    = 35  // L: role code, only on the-chief-i (reference) tokens
+	offFlagGVal = 40  // 1: gatherable-value flag (entities, role tokens)
+	offFlagRel  = 41  // 1: relation token flag
+	offFlagRelA = 42  // 1: hop-1-class relation flag
+	offFlagQ    = 43  // 1: "?" token flag
+	offFlagOne  = 44  // 1: constant 1 on every token (self-anchor driver)
+	offSCVal    = 45  // E: gathered fact value       (L0)
+	offSCRel    = 69  // R: gathered fact relation    (L0)
+	offSCRole   = 75  // L: gathered role code        (L0)
+	offPKey     = 80  // E: joined partner key        (L1)
+	offPVal     = 104 // E: joined partner value      (L1)
+	offPRel     = 128 // R: joined/gathered hop-1 rel (L0+L1)
+	offBridge   = 134 // E: lookup results            (L2+L3)
+	offFlagSink = 158 // 1: attention-sink token (periods, topics, fillers)
+
+	hidden = Heads * HeadDim
+)
+
+// Attention-logit construction constants. Margins were chosen so that with
+// the softmax scale 1/√HeadDim ≈ 0.158 every intended match beats its
+// nearest competitor by ≥3 nats; the tests verify the resulting behaviour
+// end to end.
+const (
+	kernelB  = 150.0  // plane-0 weight (θ=1): sharp short-range discrimination
+	kernelA  = 900.0  // plane-1 weight (θ≈0.105): main distance kernel
+	kernelC  = 450.0  // plane-2 weight (θ≈0.011): anti-aliasing
+	classG   = 500.0  // class content match (e.g. "is a relation token")
+	nullN    = 500.0  // self/null match: absorbs attention when no target
+	joinK    = 1200.0 // role-code join match (must dominate the sink anchor)
+	sinkN    = 100.0  // join-head sink-anchor content match
+	sinkKern = 0.25   // join-head sink-anchor kernel scale
+	lookupK  = 40.0   // record lookup match per matching unit
+	joinGain = 1.75   // joined key/rel strength vs the anchor's bare record
+	hop2Out  = 3.0    // L3 output gain so the answer dominates the bridge
+)
+
+// Per-head content dim layout (dims 0..RotaryDims-1 are rotary).
+const (
+	dimClass   = 8  // class marker (K) / class query (Q)
+	dimNull    = 9  // null/self marker
+	payloadE   = 10 // 24 dims of entity payload (V)
+	payloadR   = 34 // 6 dims of relation/role payload (V)
+	jMatch     = 8  // join heads: 6 dims of role-code match (K/Q)
+	jPayloadE  = 14 // join heads: entity payload (V)
+	recEID     = 8  // record heads: entity key part (K/Q), 24 dims
+	recRel     = 32 // record heads: relation key part (K/Q), 6 dims
+	recPayload = 8  // record heads: value payload (V), 24 dims
+)
+
+// Vocab is the token inventory of the constructed model.
+type Vocab struct {
+	// Period doubles as the "no answer" readout (token 0).
+	Period, Query, Dash, Colon, QMark int
+	// RelA are hop-1 relations (code slots 0..len-1).
+	RelA []int
+	// RelB are hop-2 relations (code slots len(RelA)..).
+	RelB []int
+	// Fills is the reserved relation of a split fact's value half (last
+	// code slot, never queried).
+	Fills int
+	// RoleD[i] and RoleR[i] are the paired declaration/reference tokens.
+	RoleD, RoleR []int
+	// Entities are the E entity name tokens (code slot = index).
+	Entities []int
+	// Fillers are flag-free noise tokens.
+	Fillers []int
+	// Topics are flag-free tokens used purely as retrieval signals: the
+	// dataset stamps each chunk and each query with topic words so the
+	// vector index has something to match on, the way real RAG corpora
+	// share vocabulary between queries and relevant documents.
+	Topics []int
+
+	names []string
+}
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.names) }
+
+// Name returns the surface form of a token id.
+func (v *Vocab) Name(id int) string {
+	if id < 0 || id >= len(v.names) {
+		return "<unk>"
+	}
+	return v.names[id]
+}
+
+// EntityCode returns the code slot of an entity token id, or -1.
+func (v *Vocab) EntityCode(tok int) int {
+	for i, e := range v.Entities {
+		if e == tok {
+			return i
+		}
+	}
+	return -1
+}
+
+func newVocab() *Vocab {
+	v := &Vocab{}
+	add := func(name string) int {
+		v.names = append(v.names, name)
+		return len(v.names) - 1
+	}
+	v.Period = add(".")
+	v.Query = add("query")
+	v.Dash = add("-")
+	v.Colon = add(":")
+	v.QMark = add("?")
+	for _, n := range []string{"managed-by", "advised-by"} {
+		v.RelA = append(v.RelA, add(n))
+	}
+	for _, n := range []string{"based-in", "born-in", "works-on"} {
+		v.RelB = append(v.RelB, add(n))
+	}
+	v.Fills = add("fills")
+	for i := 0; i < L; i++ {
+		v.RoleD = append(v.RoleD, add(fmt.Sprintf("chief-%d", i)))
+	}
+	for i := 0; i < L; i++ {
+		v.RoleR = append(v.RoleR, add(fmt.Sprintf("the-chief-%d", i)))
+	}
+	entityNames := []string{
+		"alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi",
+		"ivan", "judy", "mallory", "niaj", "paris", "london", "tokyo",
+		"berlin", "oslo", "cairo", "quantum", "fusion", "robotics",
+		"genomics", "crypto", "optics",
+	}
+	for _, n := range entityNames {
+		v.Entities = append(v.Entities, add(n))
+	}
+	for _, n := range []string{
+		"meanwhile", "report", "notes", "update", "today", "team",
+		"internal", "memo", "status", "digest",
+	} {
+		v.Fillers = append(v.Fillers, add(n))
+	}
+	for i := 0; i < 24; i++ {
+		v.Topics = append(v.Topics, add(fmt.Sprintf("topic-%02d", i)))
+	}
+	return v
+}
+
+// relCode returns the relation code slot for a relation token id.
+func (v *Vocab) relCode(tok int) int {
+	for i, r := range v.RelA {
+		if r == tok {
+			return i
+		}
+	}
+	for i, r := range v.RelB {
+		if r == tok {
+			return len(v.RelA) + i
+		}
+	}
+	if tok == v.Fills {
+		return R - 1
+	}
+	return -1
+}
+
+// Build constructs the model and its vocabulary. The same (deterministic)
+// model is returned on every call.
+func Build() (*model.Model, *Vocab) { return BuildDeep(0) }
+
+// BuildDeep builds the QA model with extra record-exposure layers between
+// the join layer and the two lookup layers: every additional layer
+// projects the same records into its K/V (with inert attention), giving
+// deeper models whose per-layer KV deviation structure matches the
+// shallow one — the knob used to vary model depth in the Figure 6–8
+// deviation studies.
+func BuildDeep(extraRecordLayers int) (*model.Model, *Vocab) {
+	if extraRecordLayers < 0 {
+		panic("qamodel: negative record layers")
+	}
+	v := newVocab()
+	layers := Layers + extraRecordLayers
+	cfg := model.Config{
+		Name:   fmt.Sprintf("qa-constructed-d%d", layers),
+		Layers: layers, Heads: Heads, KVHeads: Heads, HeadDim: HeadDim,
+		FFNDim: 0, Vocab: v.Size(),
+		RotaryDims: RotaryDims, RopeBase: RopeBase,
+		Norm: model.NormNone,
+	}
+	m := model.NewZero(cfg)
+	buildEmbeddings(m, v)
+	buildLayer0(m)
+	buildLayer1(m)
+	for li := 2; li < layers-2; li++ {
+		buildRecordLayer(m, li, recordOnly)
+	}
+	buildRecordLayer(m, layers-2, lookupL2)
+	buildRecordLayer(m, layers-1, lookupL3)
+	buildLMHead(m, v)
+	return m, v
+}
+
+func buildEmbeddings(m *model.Model, v *Vocab) {
+	set := func(tok, off int, vals ...float32) {
+		copy(m.Embed.Row(tok)[off:], vals)
+	}
+	one := func(tok, off, slot int) { m.Embed.Row(tok)[off+slot] = 1 }
+	for i, e := range v.Entities {
+		one(e, offEID, i)
+		set(e, offFlagGVal, 1)
+	}
+	rels := append(append([]int{}, v.RelA...), v.RelB...)
+	rels = append(rels, v.Fills)
+	for _, r := range rels {
+		one(r, offRID, v.relCode(r))
+		set(r, offFlagRel, 1)
+	}
+	for _, r := range v.RelA {
+		set(r, offFlagRelA, 1)
+	}
+	for i, d := range v.RoleD {
+		one(d, offRole, i)
+		set(d, offFlagGVal, 1)
+	}
+	for i, r := range v.RoleR {
+		one(r, offRole, i)
+		one(r, offRoleR, i)
+		set(r, offFlagGVal, 1)
+	}
+	set(v.QMark, offFlagQ, 1)
+	// Every token carries the always-on self-anchor driver: without it,
+	// tokens with no other query content would attend uniformly over the
+	// whole prefix and accumulate context-dependent smear — spurious KV
+	// deviation that would drown out the real cross-chunk signals. (Real
+	// transformers solve the same problem with attention sinks.)
+	for tok := 0; tok < v.Size(); tok++ {
+		set(tok, offFlagOne, 1)
+	}
+	// Payload-free tokens are attention sinks: the join layer anchors all
+	// idle queries onto the nearest sink, whose zero payload keeps pKey /
+	// pVal clean (a uniform fallback would smear context averages in, and
+	// a self fallback would write a token's own identity into its record
+	// key). Chunks should therefore begin with a sink token — the
+	// datasets' topic headers and the sentence periods provide them.
+	sinks := append([]int{v.Period, v.Query, v.Dash, v.Colon}, v.Fillers...)
+	sinks = append(sinks, v.Topics...)
+	for _, tok := range sinks {
+		set(tok, offFlagSink, 1)
+	}
+}
+
+// thetas returns the rotary frequencies of the four planes.
+func thetas() [4]float64 {
+	var t [4]float64
+	for i := 0; i < 4; i++ {
+		t[i] = math.Pow(RopeBase, -2*float64(i)/float64(RotaryDims))
+	}
+	return t
+}
+
+// setKernelQ writes the phase-shifted distance kernel into the query rows
+// of head h for driver dimension driverDim, peaked at relative distance lt.
+// The kernel is w·cos(θ(l-lt)) summed over planes 0..2 with weights
+// kernelB/A/C; phases implement the peak shift (q at angle -lt·θ matches k
+// at angle 0 when the key is lt positions back).
+func setKernelQ(wq *matrixAt, driverDim, h, lt int) {
+	setKernelQScaled(wq, driverDim, h, lt, 1)
+}
+
+// setKernelQScaled is setKernelQ with the plane weights scaled by s².
+func setKernelQScaled(wq *matrixAt, driverDim, h, lt int, scale float64) {
+	t := thetas()
+	weights := [3]float64{kernelB, kernelA, kernelC}
+	for p := 0; p < 3; p++ {
+		mag := math.Sqrt(weights[p]) * scale
+		phase := -float64(lt) * t[p]
+		wq.set(driverDim, h*HeadDim+2*p, float32(mag*math.Cos(phase)))
+		wq.set(driverDim, h*HeadDim+2*p+1, float32(mag*math.Sin(phase)))
+	}
+}
+
+// addKernelQDelta adds, into the query rows of driver dimension driverDim
+// on head h, the difference between the kernel phased at lt and the kernel
+// phased at 0. Combined with the always-on self-anchor row (phase 0), the
+// net query of a token carrying the driver flag is the kernel peaked at
+// lt.
+func addKernelQDelta(wq *matrixAt, driverDim, h, lt int) {
+	t := thetas()
+	weights := [3]float64{kernelB, kernelA, kernelC}
+	for p := 0; p < 3; p++ {
+		mag := math.Sqrt(weights[p])
+		phase := -float64(lt) * t[p]
+		wq.set(driverDim, h*HeadDim+2*p, float32(mag*(math.Cos(phase)-1)))
+		wq.set(driverDim, h*HeadDim+2*p+1, float32(mag*math.Sin(phase)))
+	}
+}
+
+// setKernelK writes the kernel key template (angle 0) for candidate tokens
+// flagged at flagDim on head h.
+func setKernelK(wk *matrixAt, flagDim, h int) {
+	setKernelKScaled(wk, flagDim, h, 1)
+}
+
+// setKernelKScaled is setKernelK with the plane weights scaled by s².
+func setKernelKScaled(wk *matrixAt, flagDim, h int, scale float64) {
+	weights := [3]float64{kernelB, kernelA, kernelC}
+	for p := 0; p < 3; p++ {
+		wk.set(flagDim, h*HeadDim+2*p, float32(math.Sqrt(weights[p])*scale))
+	}
+}
+
+// matrixAt is a tiny adapter so the builders read like coordinate writes.
+type matrixAt struct {
+	m interface{ Set(i, j int, v float32) }
+}
+
+func (a *matrixAt) set(i, j int, v float32) { a.m.Set(i, j, v) }
+
+// copyBlock wires an identity copy of n dims from matrix row-offset src to
+// column-offset dst.
+func copyBlock(w *matrixAt, src, dst, n int, gain float32) {
+	for i := 0; i < n; i++ {
+		w.set(src+i, dst+i, gain)
+	}
+}
+
+// buildLayer0 wires the gather layer: three active heads.
+//
+//	head 0: gather fact value (class = gatherable tokens, peak at l=2);
+//	        payloads: entity id → sCVal, role code → sCRole
+//	head 1: gather fact relation (class = relation tokens, peak l=1);
+//	        payload: relation id → sCRel
+//	head 2: gather hop-1 relation (class = relA tokens; peak l=1 for fact
+//	        subjects, l=5 for "?"); payload: relation id → pRel
+//
+// Each head also has a null/self template so a gatherer with no in-range
+// target absorbs its own attention and receives a zero payload instead of
+// locking onto a distant false match.
+func buildLayer0(m *model.Model) {
+	lw := &m.Layer[0]
+	wq := &matrixAt{lw.Wq}
+	wk := &matrixAt{lw.Wk}
+	wv := &matrixAt{lw.Wv}
+	wo := &matrixAt{lw.Wo}
+	g := float32(math.Sqrt(classG))
+	n := float32(math.Sqrt(nullN))
+
+	type gatherHead struct {
+		h        int
+		classDim int // embedding flag marking class (K side)
+		ltGVal   int // kernel peak for gatherable-token drivers
+		ltQ      int // kernel peak for the "?" driver
+	}
+	heads := []gatherHead{
+		{h: 0, classDim: offFlagGVal, ltGVal: 2, ltQ: 2},
+		{h: 1, classDim: offFlagRel, ltGVal: 1, ltQ: 1},
+		{h: 2, classDim: offFlagRelA, ltGVal: 1, ltQ: 5},
+	}
+	for _, gh := range heads {
+		// Keys: every token carries the kernel template and the null
+		// marker (via the always-on flag); class tokens add their class
+		// marker on top.
+		setKernelK(wk, offFlagOne, gh.h)
+		wk.set(offFlagOne, gh.h*HeadDim+dimNull, n)
+		wk.set(gh.classDim, gh.h*HeadDim+dimClass, g)
+		// Class tokens already compete through their class marker; cancel
+		// their null marker (rows sum) so they are not double-counted.
+		wk.set(gh.classDim, gh.h*HeadDim+dimNull, -n)
+
+		// Queries. The always-on flag gives every token a self-anchored
+		// query (kernel peaked at distance 0 plus the null marker): a
+		// token with nothing to gather attends to itself and receives a
+		// zero payload instead of a context-dependent smear. Driver flags
+		// then *re-phase* the kernel toward their target distance by
+		// adding the difference (rows sum), and add the class marker.
+		setKernelQ(wq, offFlagOne, gh.h, 0)
+		wq.set(offFlagOne, gh.h*HeadDim+dimNull, n)
+		addKernelQDelta(wq, offFlagGVal, gh.h, gh.ltGVal)
+		addKernelQDelta(wq, offFlagQ, gh.h, gh.ltQ)
+		wq.set(offFlagGVal, gh.h*HeadDim+dimClass, g)
+		wq.set(offFlagQ, gh.h*HeadDim+dimClass, g)
+	}
+	// Payload routing (V) and output routing (Wo).
+	copyBlock(wv, offEID, 0*HeadDim+payloadE, E, 1)
+	copyBlock(wv, offRole, 0*HeadDim+payloadR, L, 1)
+	copyBlock(wo, 0*HeadDim+payloadE, offSCVal, E, 1)
+	copyBlock(wo, 0*HeadDim+payloadR, offSCRole, L, 1)
+
+	copyBlock(wv, offRID, 1*HeadDim+payloadR, R, 1)
+	copyBlock(wo, 1*HeadDim+payloadR, offSCRel, R, 1)
+
+	// Head 2's payload is restricted to the hop-1 relation code slots:
+	// a hop-2 relation token can win this head's attention when no relA
+	// is in range (it sits at the kernel peak with a null match), and it
+	// must deliver nothing when it does.
+	copyBlock(wv, offRID, 2*HeadDim+payloadR, 2, 1)
+	copyBlock(wo, 2*HeadDim+payloadR, offPRel, 2, 1)
+}
+
+// buildLayer1 wires the join layer: the two halves of a split fact find
+// each other by role code and exchange fields (content-only matching; no
+// positional kernel, so chunk order does not matter — whichever half is
+// later does the join).
+//
+//	head 0 (J1): the-chief-i (value half) ← anchor subject:
+//	             payloads entity → pKey, sCRel → pRel
+//	head 1 (J2): anchor subject ← the-chief-i (value half):
+//	             payload sCVal → pVal
+func buildLayer1(m *model.Model) {
+	lw := &m.Layer[1]
+	wq := &matrixAt{lw.Wq}
+	wk := &matrixAt{lw.Wk}
+	wv := &matrixAt{lw.Wv}
+	wo := &matrixAt{lw.Wo}
+	k := float32(math.Sqrt(joinK))
+
+	// Sink anchors on both join heads: every token carries a weak query
+	// (kernel peaked at distance 0 plus a sink marker) and sink tokens
+	// carry the matching key. A token with no genuine join partner lands
+	// on the nearest sink and receives a zero payload; real role-code
+	// matches are wired far above the anchor so joins always win.
+	const jSinkDim = 14 // key-side sink marker (V payload dims are separate)
+	nj := float32(math.Sqrt(sinkN))
+	for h := 0; h < 2; h++ {
+		setKernelQScaled(wq, offFlagOne, h, 0, sinkKern)
+		wq.set(offFlagOne, h*HeadDim+jSinkDim, nj)
+		setKernelKScaled(wk, offFlagSink, h, sinkKern)
+		wk.set(offFlagSink, h*HeadDim+jSinkDim, nj)
+	}
+
+	// J1: value half ← anchor half. q = roleR code (only reference
+	// tokens carry offRoleR); k = gathered role code minus the token's own
+	// role code — anchor subjects gathered the role from their fact's
+	// chief-i token, while a chunk-initial chief-i that self-gathered its
+	// own code cancels to zero and a reference token goes negative, so
+	// neither can be mistaken for an anchor. The payload hands the value
+	// half its record key and relation.
+	copyBlock(wq, offRoleR, 0*HeadDim+jMatch, L, k)
+	copyBlock(wk, offSCRole, 0*HeadDim+jMatch, L, k)
+	copyBlock(wk, offRole, 0*HeadDim+jMatch, L, -k)
+	copyBlock(wv, offEID, 0*HeadDim+jPayloadE, E, 1)
+	copyBlock(wv, offSCRel, 0*HeadDim+jMatch, R, 1) // reuse match dims as V payload
+	// joinGain makes the completed record of the value half outrank the
+	// anchor's own key-matching-but-empty record at lookup time.
+	copyBlock(wo, 0*HeadDim+jPayloadE, offPKey, E, joinGain)
+	copyBlock(wo, 0*HeadDim+jMatch, offPRel, R, joinGain)
+
+	// J2: anchor half ← value half. The anchor subject (q = gathered role
+	// code, with the same self-cancellation) pulls the answer out of the
+	// value half's gathered sCVal.
+	copyBlock(wq, offSCRole, 1*HeadDim+jMatch, L, k)
+	copyBlock(wq, offRole, 1*HeadDim+jMatch, L, -k)
+	copyBlock(wk, offRoleR, 1*HeadDim+jMatch, L, k)
+	copyBlock(wv, offSCVal, 1*HeadDim+jPayloadE, E, 1)
+	copyBlock(wo, 1*HeadDim+jPayloadE, offPVal, E, 1)
+}
+
+type lookupSpec struct {
+	qEID, qRel int     // residual fields the query reads
+	outGain    float32 // Wo gain into sBridge
+}
+
+var (
+	lookupL2 = lookupSpec{qEID: offSCVal, qRel: offPRel, outGain: 1}
+	lookupL3 = lookupSpec{qEID: offBridge, qRel: offSCRel, outGain: hop2Out}
+	// recordOnly exposes records in K/V without performing any lookup
+	// (inert attention): the filler layers of BuildDeep.
+	recordOnly = lookupSpec{qEID: -1}
+)
+
+// buildRecordLayer wires a record-exposure + lookup layer (L2 and L3).
+// Every token's K encodes its record key (entity identity ∪ joined key,
+// relation ∪ joined relation) and its V the record value; head 0 performs
+// the hop lookup and accumulates the result into sBridge.
+func buildRecordLayer(m *model.Model, layer int, spec lookupSpec) {
+	lw := &m.Layer[layer]
+	wq := &matrixAt{lw.Wq}
+	wk := &matrixAt{lw.Wk}
+	wv := &matrixAt{lw.Wv}
+	wo := &matrixAt{lw.Wo}
+	kr := float32(math.Sqrt(lookupK))
+
+	// Record keys.
+	copyBlock(wk, offEID, 0*HeadDim+recEID, E, kr)
+	copyBlock(wk, offPKey, 0*HeadDim+recEID, E, kr)
+	copyBlock(wk, offSCRel, 0*HeadDim+recRel, R, kr)
+	copyBlock(wk, offPRel, 0*HeadDim+recRel, R, kr)
+	// Record values.
+	copyBlock(wv, offSCVal, 0*HeadDim+recPayload, E, 1)
+	copyBlock(wv, offPVal, 0*HeadDim+recPayload, E, 1)
+	if spec.qEID < 0 {
+		// Record-exposure only: no lookup query, no output routing.
+		return
+	}
+	// Lookup query.
+	copyBlock(wq, spec.qEID, 0*HeadDim+recEID, E, kr)
+	copyBlock(wq, spec.qRel, 0*HeadDim+recRel, R, kr)
+	// Result routing.
+	copyBlock(wo, 0*HeadDim+recPayload, offBridge, E, spec.outGain)
+}
+
+// buildLMHead maps the bridge/answer field to entity-token logits.
+func buildLMHead(m *model.Model, v *Vocab) {
+	for i, e := range v.Entities {
+		m.LMHead.Set(offBridge+i, e, 1)
+	}
+}

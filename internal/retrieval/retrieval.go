@@ -1,0 +1,144 @@
+// Package retrieval is the RAG substrate: text embeddings and an exact
+// L2 nearest-neighbour index. The paper uses SentenceTransformers plus a
+// vector database; this reproduction substitutes a deterministic hashed
+// bag-of-words embedding (feature hashing, the classic trick behind
+// Vowpal-Wabbit-style text models) and exact top-k search, which preserves
+// the property that matters for the experiments: queries retrieve chunks
+// sharing their vocabulary, ranked by similarity, with imperfect recall.
+package retrieval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/tokenizer"
+)
+
+// Embedder maps text to a fixed-dimension L2-normalised vector.
+type Embedder struct {
+	dim int
+}
+
+// NewEmbedder returns an embedder with the given dimensionality.
+func NewEmbedder(dim int) *Embedder {
+	if dim <= 0 {
+		panic(fmt.Sprintf("retrieval: non-positive embedding dim %d", dim))
+	}
+	return &Embedder{dim: dim}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// Embed returns the hashed bag-of-words embedding of text: each word
+// hashes to a dimension and a sign, accumulated and L2-normalised.
+func (e *Embedder) Embed(text string) []float32 {
+	vec := make([]float32, e.dim)
+	for _, w := range tokenizer.Split(text) {
+		h := fnv.New64a()
+		h.Write([]byte(w))
+		sum := h.Sum64()
+		idx := int(sum % uint64(e.dim))
+		sign := float32(1)
+		if (sum>>63)&1 == 1 {
+			sign = -1
+		}
+		vec[idx] += sign
+	}
+	var norm float64
+	for _, v := range vec {
+		norm += float64(v) * float64(v)
+	}
+	if norm > 0 {
+		inv := float32(1 / math.Sqrt(norm))
+		for i := range vec {
+			vec[i] *= inv
+		}
+	}
+	return vec
+}
+
+// Result is one retrieval hit.
+type Result struct {
+	// ID is the caller-assigned identifier of the item.
+	ID int
+	// Dist is the squared L2 distance to the query.
+	Dist float64
+}
+
+// Index is an exact L2 nearest-neighbour index over embeddings.
+type Index struct {
+	dim  int
+	ids  []int
+	vecs [][]float32
+}
+
+// NewIndex returns an empty index for vectors of the given dimension.
+func NewIndex(dim int) *Index {
+	return &Index{dim: dim}
+}
+
+// Len returns the number of indexed items.
+func (ix *Index) Len() int { return len(ix.ids) }
+
+// Add inserts a vector under id.
+func (ix *Index) Add(id int, vec []float32) {
+	if len(vec) != ix.dim {
+		panic(fmt.Sprintf("retrieval: vector dim %d != index dim %d", len(vec), ix.dim))
+	}
+	ix.ids = append(ix.ids, id)
+	ix.vecs = append(ix.vecs, append([]float32(nil), vec...))
+}
+
+// TopK returns the k nearest items to query by squared L2 distance,
+// closest first; ties break by insertion order. k is clamped to Len.
+func (ix *Index) TopK(query []float32, k int) []Result {
+	if len(query) != ix.dim {
+		panic(fmt.Sprintf("retrieval: query dim %d != index dim %d", len(query), ix.dim))
+	}
+	if k > len(ix.ids) {
+		k = len(ix.ids)
+	}
+	if k <= 0 {
+		return nil
+	}
+	all := make([]Result, len(ix.ids))
+	for i, vec := range ix.vecs {
+		var d float64
+		for j, q := range query {
+			diff := float64(q) - float64(vec[j])
+			d += diff * diff
+		}
+		all[i] = Result{ID: ix.ids[i], Dist: d}
+	}
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Dist < all[b].Dist })
+	return all[:k]
+}
+
+// Retriever bundles an embedder with an index over text chunks.
+type Retriever struct {
+	emb *Embedder
+	ix  *Index
+}
+
+// NewRetriever builds a retriever over the given chunk texts; chunk i is
+// retrievable as ID i.
+func NewRetriever(dim int, chunkTexts []string) *Retriever {
+	r := &Retriever{emb: NewEmbedder(dim), ix: NewIndex(dim)}
+	for i, txt := range chunkTexts {
+		r.ix.Add(i, r.emb.Embed(txt))
+	}
+	return r
+}
+
+// TopK retrieves the k most similar chunk ids for a query text.
+func (r *Retriever) TopK(query string, k int) []int {
+	res := r.ix.TopK(r.emb.Embed(query), k)
+	out := make([]int, len(res))
+	for i, hit := range res {
+		out[i] = hit.ID
+	}
+	return out
+}

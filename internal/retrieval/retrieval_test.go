@@ -1,0 +1,130 @@
+package retrieval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedNormalised(t *testing.T) {
+	e := NewEmbedder(64)
+	v := e.Embed("the quick brown fox")
+	var norm float64
+	for _, x := range v {
+		norm += float64(x) * float64(x)
+	}
+	if math.Abs(norm-1) > 1e-5 {
+		t.Fatalf("embedding norm² = %v want 1", norm)
+	}
+	if len(v) != 64 || e.Dim() != 64 {
+		t.Fatal("dimension wrong")
+	}
+}
+
+func TestEmbedDeterministic(t *testing.T) {
+	e := NewEmbedder(32)
+	a := e.Embed("alpha beta gamma")
+	b := e.Embed("alpha beta gamma")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("embedding must be deterministic")
+		}
+	}
+}
+
+func TestEmbedEmptyText(t *testing.T) {
+	e := NewEmbedder(16)
+	v := e.Embed("")
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty text must embed to zero")
+		}
+	}
+}
+
+func TestSimilarTextsCloser(t *testing.T) {
+	e := NewEmbedder(128)
+	q := e.Embed("alice paris hometown question")
+	near := e.Embed("alice lives near paris her hometown")
+	far := e.Embed("quantum flux capacitor maintenance schedule")
+	d := func(a, b []float32) float64 {
+		var s float64
+		for i := range a {
+			diff := float64(a[i]) - float64(b[i])
+			s += diff * diff
+		}
+		return s
+	}
+	if d(q, near) >= d(q, far) {
+		t.Fatalf("overlapping text should be closer: near=%v far=%v", d(q, near), d(q, far))
+	}
+}
+
+func TestTopKOrderingAndClamp(t *testing.T) {
+	ix := NewIndex(2)
+	ix.Add(10, []float32{0, 0})
+	ix.Add(11, []float32{1, 0})
+	ix.Add(12, []float32{3, 0})
+	res := ix.TopK([]float32{0.9, 0}, 2)
+	if len(res) != 2 || res[0].ID != 11 || res[1].ID != 10 {
+		t.Fatalf("wrong order: %+v", res)
+	}
+	if res[0].Dist > res[1].Dist {
+		t.Fatal("distances not ascending")
+	}
+	if got := ix.TopK([]float32{0, 0}, 99); len(got) != 3 {
+		t.Fatalf("k must clamp to index size, got %d", len(got))
+	}
+	if ix.TopK([]float32{0, 0}, 0) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestTopKSelfRetrieval(t *testing.T) {
+	// Any indexed vector must retrieve itself first.
+	f := func(seed int64) bool {
+		e := NewEmbedder(64)
+		texts := []string{
+			"alpha beta gamma", "delta epsilon zeta", "eta theta iota",
+			"kappa lambda mu", "nu xi omicron",
+		}
+		ix := NewIndex(64)
+		for i, txt := range texts {
+			ix.Add(i, e.Embed(txt))
+		}
+		pick := int(uint64(seed) % uint64(len(texts)))
+		res := ix.TopK(e.Embed(texts[pick]), 1)
+		return len(res) == 1 && res[0].ID == pick && res[0].Dist < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetrieverEndToEnd(t *testing.T) {
+	chunks := []string{
+		"alice works in the engineering department in paris",
+		"weather tomorrow will be sunny with light winds",
+		"bob manages the sales team from london",
+	}
+	r := NewRetriever(128, chunks)
+	got := r.TopK("where does alice work engineering", 2)
+	if len(got) != 2 || got[0] != 0 {
+		t.Fatalf("expected chunk 0 first, got %v", got)
+	}
+}
+
+func TestIndexDimPanics(t *testing.T) {
+	ix := NewIndex(4)
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { ix.Add(1, []float32{1}) })
+	mustPanic(func() { ix.TopK([]float32{1}, 1) })
+	mustPanic(func() { NewEmbedder(0) })
+}

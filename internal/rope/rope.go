@@ -1,0 +1,110 @@
+// Package rope implements Rotary Positional Embedding (RoPE, Su et al.) and
+// the positional-recovery rotation CacheBlend uses when a pre-computed KV
+// cache is placed at a different position in a new LLM input (paper §4.3
+// footnote 3 and Appendix A).
+//
+// RoPE encodes the position m of a query/key vector by rotating each
+// consecutive pair of dimensions (2i, 2i+1) by the angle m·θᵢ with
+// θᵢ = base^(-2i/d). Because rotations compose additively, a key that was
+// embedded at position m can be exactly re-positioned to position m' by
+// rotating it a further (m'-m)·θᵢ — this is what lets CacheBlend reuse a KV
+// cache computed for a chunk at offset 0 when the chunk lands at an
+// arbitrary offset in a fused input, at negligible cost.
+package rope
+
+import (
+	"fmt"
+	"math"
+)
+
+// Table holds precomputed per-dimension rotation frequencies for a given
+// head dimension and base, so that repeated rotations avoid recomputing
+// powers.
+type Table struct {
+	headDim int
+	base    float64
+	theta   []float64 // theta[i] is the frequency for dim pair (2i, 2i+1)
+}
+
+// NewTable builds a frequency table for head vectors of length headDim
+// (which must be even) with the given base (10000 in the original RoFormer
+// and in Llama/Mistral-family models).
+func NewTable(headDim int, base float64) *Table {
+	if headDim <= 0 || headDim%2 != 0 {
+		panic(fmt.Sprintf("rope: head dim must be positive and even, got %d", headDim))
+	}
+	t := &Table{headDim: headDim, base: base, theta: make([]float64, headDim/2)}
+	for i := 0; i < headDim/2; i++ {
+		t.theta[i] = math.Pow(base, -2*float64(i)/float64(headDim))
+	}
+	return t
+}
+
+// HeadDim returns the head dimension the table was built for.
+func (t *Table) HeadDim() int { return t.headDim }
+
+// Base returns the frequency base the table was built for.
+func (t *Table) Base() float64 { return t.base }
+
+// Apply rotates x (length headDim) in place to encode position pos.
+func (t *Table) Apply(x []float32, pos int) {
+	t.rotate(x, float64(pos))
+}
+
+// Shift re-positions x in place from position `from` to position `to`.
+// Because R(m')·R(m)ᵀ = R(m'-m), this is a single rotation by the position
+// delta — the positional-recovery step of CacheBlend (Appendix A).
+func (t *Table) Shift(x []float32, from, to int) {
+	t.rotate(x, float64(to-from))
+}
+
+func (t *Table) rotate(x []float32, m float64) {
+	if len(x) != t.headDim {
+		panic(fmt.Sprintf("rope: vector length %d != head dim %d", len(x), t.headDim))
+	}
+	for i := 0; i < t.headDim/2; i++ {
+		angle := m * t.theta[i]
+		c := float32(math.Cos(angle))
+		s := float32(math.Sin(angle))
+		a, b := x[2*i], x[2*i+1]
+		x[2*i] = a*c - b*s
+		x[2*i+1] = a*s + b*c
+	}
+}
+
+// RotationMatrix returns the explicit d×d block-diagonal rotation matrix
+// R^d_{Θ,m} from Definition 1 of the paper's Appendix A, stored row-major.
+// It exists to validate the fast pairwise implementation against the
+// paper's matrix formulation and is used only in tests and documentation
+// examples — Apply/Shift are the production path.
+func (t *Table) RotationMatrix(pos int) []float32 {
+	d := t.headDim
+	m := make([]float32, d*d)
+	for i := 0; i < d/2; i++ {
+		angle := float64(pos) * t.theta[i]
+		c := float32(math.Cos(angle))
+		s := float32(math.Sin(angle))
+		r, cIdx := 2*i, 2*i
+		m[r*d+cIdx] = c
+		m[r*d+cIdx+1] = -s
+		m[(r+1)*d+cIdx] = s
+		m[(r+1)*d+cIdx+1] = c
+	}
+	return m
+}
+
+// Score returns the RoPE-rotated attention logit qᵀ(pos_q)·k(pos_k) for raw
+// (unrotated) vectors q and k. Proposition A.1 of the paper shows this
+// depends only on pos_q - pos_k; tests verify that property against this
+// reference implementation.
+func (t *Table) Score(q, k []float32, posQ, posK int) float64 {
+	qr := append([]float32(nil), q...)
+	kr := append([]float32(nil), k...)
+	t.Apply(qr, posQ)
+	t.Apply(kr, posK)
+	var s float64
+	for i := range qr {
+		s += float64(qr[i]) * float64(kr[i])
+	}
+	return s
+}

@@ -1,0 +1,219 @@
+// Package serve simulates an LLM serving deployment end to end: Poisson
+// request arrivals, a FCFS GPU queue, a capacity-bounded KV cache store
+// with chunk popularity, and per-scheme prefill costs from the calibrated
+// timing model. It reproduces the paper's throughput study (Figure 14):
+// TTFT as a function of request rate for CacheBlend, full KV recompute and
+// prefix caching on the extended RAG datasets.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/chunk"
+	"repro/internal/device"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/timing"
+)
+
+// Config describes one serving configuration.
+type Config struct {
+	// Spec is the served model's delay profile.
+	Spec timing.Spec
+	// Scheme selects the KV handling strategy (FullRecompute,
+	// PrefixCaching, FullKVReuse or CacheBlend; the Map* schemes are
+	// quality baselines, not serving modes).
+	Scheme baselines.Scheme
+	// Ratio is CacheBlend's recompute ratio.
+	Ratio float64
+	// Device stores the KV caches.
+	Device device.Device
+	// StoreCapacity bounds the KV store (0 = unbounded).
+	StoreCapacity int64
+	// ChunkPool is the number of distinct chunks in the corpus.
+	ChunkPool int
+	// ChunksPerRequest is how many chunks each request retrieves.
+	ChunksPerRequest int
+	// ChunkTokens is the token length of each chunk.
+	ChunkTokens int
+	// QueryTokens is the fresh suffix length.
+	QueryTokens int
+	// Skew is the chunk popularity skew (sim.Zipf exponent).
+	Skew float64
+}
+
+// Result summarises one simulated run.
+type Result struct {
+	Rate       float64 // offered request rate (req/s)
+	MeanTTFT   float64
+	P95TTFT    float64
+	Throughput float64 // completed requests/s over the run
+	HitRate    float64 // KV store hit rate over chunk lookups
+	Requests   int
+}
+
+// String renders the result as a table row.
+func (r Result) String() string {
+	return fmt.Sprintf("rate=%.2f mean_ttft=%.3fs p95=%.3fs tput=%.2f hit=%.0f%%",
+		r.Rate, r.MeanTTFT, r.P95TTFT, r.Throughput, r.HitRate*100)
+}
+
+// Run simulates n requests arriving at the given Poisson rate and returns
+// aggregate TTFT/throughput statistics. The first warmup requests are
+// excluded from statistics (the paper skips its first 1 000 queries while
+// the store is cold).
+func Run(cfg Config, rate float64, n, warmup int, seed int64) Result {
+	if cfg.ChunksPerRequest <= 0 || cfg.ChunkTokens <= 0 || cfg.ChunkPool <= 0 {
+		panic(fmt.Sprintf("serve: degenerate config %+v", cfg))
+	}
+	g := tensor.NewRNG(seed)
+	arrivals := sim.PoissonArrivals(g, rate, n)
+	store := kvstore.New(cfg.Device, cfg.StoreCapacity, kvstore.LRU)
+	defer store.Close()
+
+	eng := sim.NewEngine()
+	serverFree := 0.0
+	var ttfts []float64
+	var lastDone float64
+	completed := 0
+
+	chunkBytes := cfg.Spec.KVBytes(cfg.ChunkTokens)
+	for i := 0; i < n; i++ {
+		i := i
+		at := arrivals[i]
+		// Sample the request's chunk ids up front (deterministic).
+		ids := make([]int, cfg.ChunksPerRequest)
+		for j := range ids {
+			ids[j] = sim.Zipf(g, cfg.ChunkPool, cfg.Skew)
+		}
+		eng.At(at, func(now float64) {
+			service := serviceTime(cfg, store, ids, chunkBytes)
+			start := now
+			if serverFree > start {
+				start = serverFree
+			}
+			done := start + service
+			serverFree = done
+			if i >= warmup {
+				ttfts = append(ttfts, done-at)
+				completed++
+				lastDone = done
+			}
+		})
+	}
+	eng.Run()
+
+	res := Result{Rate: rate, Requests: completed}
+	res.MeanTTFT = metrics.Mean(ttfts)
+	res.P95TTFT = metrics.Percentile(ttfts, 95)
+	if completed > 0 && lastDone > arrivals[warmup] {
+		res.Throughput = float64(completed) / (lastDone - arrivals[warmup])
+	}
+	res.HitRate = store.Stats().HitRate()
+	return res
+}
+
+// serviceTime computes one request's prefill service time under the
+// scheme, updating the KV store.
+func serviceTime(cfg Config, store *kvstore.Store, ids []int, chunkBytes int64) float64 {
+	L := cfg.ChunksPerRequest*cfg.ChunkTokens + cfg.QueryTokens
+	spec := cfg.Spec
+	switch cfg.Scheme {
+	case baselines.FullRecompute:
+		return spec.FullPrefillTTFT(L)
+
+	case baselines.PrefixCaching:
+		// Only a position-0 hit helps (§3.2). Following the paper's
+		// idealised assumption, loading the prefix KV is free.
+		key := prefixKey(cfg, ids[0])
+		_, hit := store.Get(key)
+		if !hit {
+			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
+		}
+		rest := L - cfg.ChunkTokens
+		if hit {
+			return spec.Prefill(rest) + spec.DecodeSecPerToken
+		}
+		return spec.FullPrefillTTFT(L)
+
+	case baselines.FullKVReuse, baselines.CacheBlend:
+		hits := 0
+		var loadBytes int64
+		for _, id := range ids {
+			key := chunkKey(cfg, id)
+			if _, ok := store.Get(key); ok {
+				hits++
+				loadBytes += chunkBytes
+			} else {
+				store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
+			}
+		}
+		missTokens := (cfg.ChunksPerRequest-hits)*cfg.ChunkTokens + cfg.QueryTokens
+		missCost := spec.Prefill(missTokens)
+		loadCost := cfg.Device.ReadTime(loadBytes)
+		if cfg.Scheme == baselines.FullKVReuse {
+			return loadCost + missCost + spec.DecodeSecPerToken
+		}
+		// CacheBlend: selective recompute of the reused tokens, pipelined
+		// with their loading (§5); missing chunks and the query are full
+		// prefill.
+		hitTokens := hits * cfg.ChunkTokens
+		blendCost := pipelineCost(spec, cfg.Ratio, hitTokens, cfg.Device)
+		return blendCost + missCost + spec.DecodeSecPerToken
+
+	default:
+		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))
+	}
+}
+
+// pipelineCost is the pipelined load+recompute time for reusing hitTokens
+// of KV (zero when nothing is reused).
+func pipelineCost(spec timing.Spec, ratio float64, hitTokens int, d device.Device) float64 {
+	if hitTokens == 0 {
+		return 0
+	}
+	loadLayer := d.ReadTime(spec.LayerBytes(hitTokens))
+	compLayer := spec.RecomputeLayer(ratio, hitTokens)
+	loadDone, compDone := 0.0, 0.0
+	for i := 0; i < spec.Layers; i++ {
+		loadDone += loadLayer
+		start := loadDone
+		if compDone > start {
+			start = compDone
+		}
+		compDone = start + compLayer
+	}
+	return compDone
+}
+
+func chunkKey(cfg Config, id int) chunk.ID {
+	return chunk.Hash(cfg.Spec.Name, []int{id})
+}
+
+func prefixKey(cfg Config, id int) chunk.ID {
+	return chunk.Hash(cfg.Spec.Name+"/prefix0", []int{id})
+}
+
+// RateSweep runs the simulation across request rates and returns one
+// Result per rate — the data series of Figure 14.
+func RateSweep(cfg Config, rates []float64, n, warmup int, seed int64) []Result {
+	out := make([]Result, 0, len(rates))
+	for _, r := range rates {
+		out = append(out, Run(cfg, r, n, warmup, seed))
+	}
+	return out
+}
+
+// Capacity returns the maximum sustainable request rate of the
+// configuration: the reciprocal of the steady-state mean service time,
+// measured by probing the simulator at a very low rate.
+func Capacity(cfg Config, seed int64) float64 {
+	probe := Run(cfg, 0.01, 400, 100, seed)
+	if probe.MeanTTFT <= 0 {
+		return 0
+	}
+	return 1 / probe.MeanTTFT
+}

@@ -1,0 +1,122 @@
+// Package sim provides the discrete-event simulation core used by the
+// serving experiments: a virtual-time event queue and Poisson arrival
+// generation. Virtual time lets the reproduction measure TTFT and
+// throughput of GPU-scale serving configurations (Figure 14) without the
+// paper's A40 testbed.
+package sim
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int // tiebreaker for deterministic ordering
+	fn  func(now float64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine runs events in virtual-time order.
+type Engine struct {
+	now  float64
+	seq  int
+	heap eventHeap
+}
+
+// NewEngine returns an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (clamped to now for past times).
+func (e *Engine) At(t float64, fn func(now float64)) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func(now float64)) {
+	e.At(e.now+delay, fn)
+}
+
+// Run processes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(event)
+		e.now = ev.at
+		ev.fn(e.now)
+	}
+	return e.now
+}
+
+// PoissonArrivals returns n arrival times of a Poisson process with the
+// given rate (events/second), deterministically from g.
+func PoissonArrivals(g *tensor.RNG, rate float64, n int) []float64 {
+	if rate <= 0 {
+		panic("sim: non-positive arrival rate")
+	}
+	out := make([]float64, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		u := g.Float64()
+		if u <= 0 {
+			u = 1e-12
+		}
+		t += -math.Log(u) / rate
+		out[i] = t
+	}
+	return out
+}
+
+// Zipf draws an index in [0, n) with a skewed popularity distribution
+// (exponent s ≥ 0; s=0 is uniform), deterministically from g. It models
+// chunk reuse: a few context chunks are requested far more often than the
+// tail, which is what makes KV caches worth storing.
+func Zipf(g *tensor.RNG, n int, s float64) int {
+	if n <= 0 {
+		panic("sim: Zipf over empty domain")
+	}
+	if s <= 0 {
+		return g.Intn(n)
+	}
+	// Inverse-CDF on the continuous approximation: x ∝ u^(1/(1-s)) for
+	// s<1; for s≥1 fall back to a simple power skew.
+	u := g.Float64()
+	exp := 1.0
+	if s < 1 {
+		exp = 1 / (1 - s)
+	} else {
+		exp = 1 + s
+	}
+	idx := int(math.Pow(u, exp) * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

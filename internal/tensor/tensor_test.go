@@ -1,0 +1,338 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewShapes(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewFromPanicsOnBadLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFrom(2, 2, []float32{1, 2, 3})
+}
+
+func TestAtSetRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2)=%v want 7", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row aliasing broken: %v", row)
+	}
+	row[0] = 3
+	if m.At(1, 0) != 3 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := NewFrom(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := NewFrom(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d]=%v want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	g := NewRNG(1)
+	a := g.NewNormal(4, 4, 1)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	c := MatMul(a, id)
+	for i := range a.Data {
+		if !almostEq(float64(c.Data[i]), float64(a.Data[i]), 1e-6) {
+			t.Fatalf("identity multiply changed data at %d", i)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestMatVecVecMatAgree(t *testing.T) {
+	g := NewRNG(2)
+	a := g.NewNormal(5, 7, 1)
+	x := make([]float32, 7)
+	for i := range x {
+		x[i] = g.Normal(0, 1)
+	}
+	got := MatVec(a, x)
+	// Compare with explicit matmul against a column vector.
+	xv := NewFrom(7, 1, append([]float32(nil), x...))
+	want := MatMul(a, xv)
+	for i := range got {
+		if !almostEq(float64(got[i]), float64(want.Data[i]), 1e-5) {
+			t.Fatalf("matvec[%d]=%v want %v", i, got[i], want.Data[i])
+		}
+	}
+	y := make([]float32, 5)
+	for i := range y {
+		y[i] = g.Normal(0, 1)
+	}
+	got2 := VecMat(y, a)
+	yv := NewFrom(1, 5, append([]float32(nil), y...))
+	want2 := MatMul(yv, a)
+	for i := range got2 {
+		if !almostEq(float64(got2[i]), float64(want2.Data[i]), 1e-5) {
+			t.Fatalf("vecmat[%d]=%v want %v", i, got2[i], want2.Data[i])
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	x := []float32{1, 2, 3, 4}
+	Softmax(x)
+	var sum float64
+	prev := float64(-1)
+	for _, v := range x {
+		if v < 0 || v > 1 {
+			t.Fatalf("softmax out of range: %v", v)
+		}
+		if float64(v) < prev {
+			t.Fatal("softmax must be monotone in inputs")
+		}
+		prev = float64(v)
+		sum += float64(v)
+	}
+	if !almostEq(sum, 1, 1e-5) {
+		t.Fatalf("softmax sum=%v", sum)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	x := []float32{1000, 1001, 1002}
+	Softmax(x)
+	var sum float64
+	for _, v := range x {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflow")
+		}
+		sum += float64(v)
+	}
+	if !almostEq(sum, 1, 1e-5) {
+		t.Fatalf("softmax sum=%v", sum)
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	Softmax(nil) // must not panic
+}
+
+func TestSoftmaxSumProperty(t *testing.T) {
+	f := func(in []float32) bool {
+		if len(in) == 0 {
+			return true
+		}
+		x := make([]float32, len(in))
+		for i, v := range in {
+			// Clamp to a sane range; quick generates extreme float32s.
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				v = 0
+			}
+			if v > 100 {
+				v = 100
+			}
+			if v < -100 {
+				v = -100
+			}
+			x[i] = v
+		}
+		Softmax(x)
+		var sum float64
+		for _, v := range x {
+			if v < 0 {
+				return false
+			}
+			sum += float64(v)
+		}
+		return almostEq(sum, 1, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMSNorm(t *testing.T) {
+	x := []float32{3, 4}
+	out := make([]float32, 2)
+	RMSNorm(out, x, nil, 0)
+	// rms = sqrt((9+16)/2) = sqrt(12.5)
+	rms := math.Sqrt(12.5)
+	if !almostEq(float64(out[0]), 3/rms, 1e-5) || !almostEq(float64(out[1]), 4/rms, 1e-5) {
+		t.Fatalf("rmsnorm got %v", out)
+	}
+	// With gain.
+	gain := []float32{2, 0.5}
+	RMSNorm(out, x, gain, 0)
+	if !almostEq(float64(out[0]), 2*3/rms, 1e-5) || !almostEq(float64(out[1]), 0.5*4/rms, 1e-5) {
+		t.Fatalf("rmsnorm with gain got %v", out)
+	}
+}
+
+func TestRMSNormUnitOutputNorm(t *testing.T) {
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		x := make([]float32, 16)
+		for i := range x {
+			x[i] = g.Normal(0, 3)
+		}
+		out := make([]float32, 16)
+		RMSNorm(out, x, nil, 1e-6)
+		// After RMS norm the mean square is ~1, so L2 ≈ sqrt(n).
+		return almostEq(L2(out), math.Sqrt(16), 0.05)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiLU(t *testing.T) {
+	x := []float32{0}
+	SiLU(x)
+	if x[0] != 0 {
+		t.Fatalf("silu(0)=%v", x[0])
+	}
+	x = []float32{10}
+	SiLU(x)
+	if !almostEq(float64(x[0]), 10, 1e-3) {
+		t.Fatalf("silu(10)=%v want ≈10", x[0])
+	}
+	x = []float32{-10}
+	SiLU(x)
+	if !almostEq(float64(x[0]), 0, 1e-3) {
+		t.Fatalf("silu(-10)=%v want ≈0", x[0])
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax(nil) != -1 {
+		t.Fatal("argmax(nil) != -1")
+	}
+	if Argmax([]float32{1, 5, 3}) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	// Tie breaks low.
+	if Argmax([]float32{5, 5}) != 0 {
+		t.Fatal("argmax tie must break low")
+	}
+}
+
+func TestL2AndDiff(t *testing.T) {
+	if !almostEq(L2([]float32{3, 4}), 5, 1e-9) {
+		t.Fatal("L2 wrong")
+	}
+	if !almostEq(L2Diff([]float32{1, 1}, []float32{1, 1}), 0, 1e-9) {
+		t.Fatal("L2Diff of equal vectors must be 0")
+	}
+	if !almostEq(L2Diff([]float32{0, 0}, []float32{3, 4}), 5, 1e-9) {
+		t.Fatal("L2Diff wrong")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	got := MaxAbsDiff([]float32{1, 2, 3}, []float32{1, 5, 2})
+	if !almostEq(got, 3, 1e-9) {
+		t.Fatalf("MaxAbsDiff=%v want 3", got)
+	}
+}
+
+func TestAXPYAddScale(t *testing.T) {
+	y := []float32{1, 2}
+	AXPY(2, []float32{3, 4}, y)
+	if y[0] != 7 || y[1] != 10 {
+		t.Fatalf("axpy got %v", y)
+	}
+	Add(y, []float32{1, 1})
+	if y[0] != 8 || y[1] != 11 {
+		t.Fatalf("add got %v", y)
+	}
+	Scale(y, 0.5)
+	if y[0] != 4 || y[1] != 5.5 {
+		t.Fatalf("scale got %v", y)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42).NewNormal(3, 3, 1)
+	b := NewRNG(42).NewNormal(3, 3, 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must produce identical weights")
+		}
+	}
+	c := NewRNG(43).NewNormal(3, 3, 1)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should produce different weights")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewFrom(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestMatMulAssociativityWithVector(t *testing.T) {
+	// (A×B)×x == A×(B×x) — property test over random seeds.
+	f := func(seed int64) bool {
+		g := NewRNG(seed)
+		a := g.NewNormal(4, 5, 1)
+		b := g.NewNormal(5, 6, 1)
+		x := make([]float32, 6)
+		for i := range x {
+			x[i] = g.Normal(0, 1)
+		}
+		left := MatVec(MatMul(a, b), x)
+		right := MatVec(a, MatVec(b, x))
+		for i := range left {
+			if !almostEq(float64(left[i]), float64(right[i]), 1e-3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+)
+
+func TestCalibrationAnchors(t *testing.T) {
+	// The paper's §2 anchors: ~3 s for a 34B-class model and ~6 s for a
+	// 70B at a 4 K-token prefill; a 7B-class model well under 1 s.
+	if p := Yi34B.Prefill(4096); p < 2.5 || p > 3.5 {
+		t.Fatalf("Yi-34B 4K prefill = %.2fs, want ≈3s", p)
+	}
+	if p := Llama70B.Prefill(4096); p < 5.0 || p > 7.0 {
+		t.Fatalf("Llama-70B 4K prefill = %.2fs, want ≈6s", p)
+	}
+	if p := Mistral7B.Prefill(4096); p < 0.5 || p > 1.2 {
+		t.Fatalf("Mistral-7B 4K prefill = %.2fs, want ≈0.8s", p)
+	}
+}
+
+func TestPaperWalkthroughNumbers(t *testing.T) {
+	// §5: "Take the Llama-7B model and a 4K-long context, recomputing 15%
+	// of the tokens only takes 3 ms per layer, while loading one layer's
+	// KV cache takes 16 ms from an [1 GB/s] SSD."
+	comp := Mistral7B.RecomputeLayer(0.15, 4096) * 1000
+	if comp < 2 || comp > 5 {
+		t.Fatalf("7B per-layer 15%% recompute = %.1fms, want ≈3ms", comp)
+	}
+	load := Mistral7B.LoadLayer(4096, device.SlowSSD) * 1000
+	if load < 14 || load > 19 {
+		t.Fatalf("7B per-layer load from 1GB/s SSD = %.1fms, want ≈16ms", load)
+	}
+	// "with Llama-70B, recomputing 15% of tokens takes 7 ms [per layer],
+	// but it only takes 4 ms to load one layer's KV from an NVMe SSD" —
+	// loading no longer hides recompute.
+	comp70 := Llama70B.RecomputeLayer(0.15, 4096) * 1000
+	load70 := Llama70B.LoadLayer(4096, device.NVMeSSD) * 1000
+	if comp70 <= load70 {
+		t.Fatalf("70B recompute/layer (%.1fms) should exceed NVMe load/layer (%.1fms)", comp70, load70)
+	}
+}
+
+func TestPrefillSuperlinear(t *testing.T) {
+	// Doubling context length must more than double prefill time.
+	for _, s := range Specs() {
+		if s.Prefill(8192) <= 2*s.Prefill(4096) {
+			t.Fatalf("%s prefill not superlinear", s.Name)
+		}
+	}
+}
+
+func TestRecomputeProportional(t *testing.T) {
+	f := func(rRaw uint8) bool {
+		r := float64(rRaw%101) / 100
+		got := Yi34B.Recompute(r, 3072)
+		return math.Abs(got-r*Yi34B.Prefill(3072)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVSizes(t *testing.T) {
+	// Mistral-7B fp16 GQA: 4 KiB/token/layer × 32 layers = 128 KiB/token.
+	if got := Mistral7B.KVBytesPerToken(); got != 4096*32 {
+		t.Fatalf("7B KV/token = %d want %d", got, 4096*32)
+	}
+	if Mistral7B.KVBytes(4096) != int64(4096)*4096*32 {
+		t.Fatal("KVBytes wrong")
+	}
+	if Mistral7B.LayerBytes(4096) != 4096*4096 {
+		t.Fatal("LayerBytes wrong")
+	}
+}
+
+func TestTTFTPipeliningHelps(t *testing.T) {
+	for _, s := range Specs() {
+		for _, d := range []device.Device{device.CPURAM, device.NVMeSSD, device.SlowDisk} {
+			with := s.TTFT(0.15, 4096, d, true)
+			without := s.TTFT(0.15, 4096, d, false)
+			if with >= without {
+				t.Fatalf("%s on %s: pipelined TTFT %.3f not better than sequential %.3f",
+					s.Name, d.Name, with, without)
+			}
+		}
+	}
+}
+
+func TestTTFTPipelinedBounds(t *testing.T) {
+	// Pipelined TTFT is at least max(total load, total recompute) and at
+	// most their sum.
+	s := Yi34B
+	d := device.NVMeSSD
+	L := 4096
+	r := 0.15
+	got := s.TTFT(r, L, d, true)
+	load := s.Load(L, d)
+	comp := s.Recompute(r, L)
+	lower := math.Max(load, comp)
+	if got < lower-1e-9 || got > load+comp+s.DecodeSecPerToken+1e-9 {
+		t.Fatalf("pipelined TTFT %.3f outside [%.3f, %.3f]", got, lower, load+comp)
+	}
+}
+
+func TestBlendBeatsFullPrefill(t *testing.T) {
+	// The headline claim at the default operating point: CacheBlend TTFT
+	// from NVMe at r=15% is 2.2–3.3× lower than full prefill.
+	for _, s := range Specs() {
+		full := s.FullPrefillTTFT(3072)
+		bl := s.TTFT(0.15, 3072, device.NVMeSSD, true)
+		speedup := full / bl
+		if speedup < 1.8 {
+			t.Fatalf("%s: speedup %.2f× too small", s.Name, speedup)
+		}
+	}
+}
+
+func TestPrefixCachingBetweenBlendAndFull(t *testing.T) {
+	// With 6 chunks, prefix caching saves only the first chunk: slower
+	// than CacheBlend, faster than full prefill.
+	for _, s := range Specs() {
+		full := s.FullPrefillTTFT(3072)
+		prefix := s.PrefixCachingTTFT(3072, 6)
+		bl := s.TTFT(0.15, 3072, device.NVMeSSD, true)
+		if !(bl < prefix && prefix < full) {
+			t.Fatalf("%s: want blend %.3f < prefix %.3f < full %.3f", s.Name, bl, prefix, full)
+		}
+	}
+	if Yi34B.PrefixCachingTTFT(1000, 0) != Yi34B.FullPrefillTTFT(1000) {
+		t.Fatal("0 chunks must degenerate to full prefill")
+	}
+}
+
+func TestFullReuseFastest(t *testing.T) {
+	s := Mistral7B
+	reuse := s.FullReuseTTFT(3072, device.NVMeSSD)
+	bl := s.TTFT(0.15, 3072, device.NVMeSSD, true)
+	if reuse > bl {
+		t.Fatalf("full reuse %.3f should be ≤ blend %.3f", reuse, bl)
+	}
+}
+
+func TestSpecByName(t *testing.T) {
+	s, err := SpecByName("Yi-34B")
+	if err != nil || s.Layers != 60 {
+		t.Fatalf("SpecByName failed: %v", err)
+	}
+	if _, err := SpecByName("GPT-5"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}

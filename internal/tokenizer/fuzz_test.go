@@ -1,0 +1,25 @@
+package tokenizer
+
+import "testing"
+
+// FuzzSplitRoundTrip: Split must be total on arbitrary UTF-8, and
+// splitting the rejoined token stream must be idempotent.
+func FuzzSplitRoundTrip(f *testing.F) {
+	f.Add("hello, world!")
+	f.Add("")
+	f.Add("top-6 chunks of 512 tokens…")
+	f.Fuzz(func(t *testing.T, s string) {
+		first := Split(s)
+		tok := New()
+		joined := tok.Decode(tok.Encode(s))
+		second := Split(joined)
+		if len(first) != len(second) {
+			t.Fatalf("idempotence broken: %d vs %d tokens", len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("token %d changed: %q vs %q", i, first[i], second[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,120 @@
+// Package tokenizer provides a deterministic word-level tokenizer.
+//
+// Real LLM stacks use learned subword vocabularies (BPE, SentencePiece);
+// for this reproduction the text itself is synthetic, so a word-level
+// vocabulary interned in first-appearance order is both deterministic and
+// sufficient. Token ids are stable for a given sequence of Encode calls,
+// which keeps chunk hashes (and therefore KV-store keys) reproducible.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenizer interns words into dense integer ids.
+//
+// A Tokenizer is not safe for concurrent mutation; build the vocabulary
+// up front (datasets do this during generation) and treat it as read-only
+// afterwards.
+type Tokenizer struct {
+	ids   map[string]int
+	words []string
+}
+
+// New returns an empty tokenizer.
+func New() *Tokenizer {
+	return &Tokenizer{ids: make(map[string]int)}
+}
+
+// Size returns the number of distinct tokens interned so far.
+func (t *Tokenizer) Size() int { return len(t.words) }
+
+// Intern returns the id for word, assigning the next free id on first use.
+func (t *Tokenizer) Intern(word string) int {
+	if id, ok := t.ids[word]; ok {
+		return id
+	}
+	id := len(t.words)
+	t.ids[word] = id
+	t.words = append(t.words, word)
+	return id
+}
+
+// Lookup returns the id for word and whether it is known.
+func (t *Tokenizer) Lookup(word string) (int, bool) {
+	id, ok := t.ids[word]
+	return id, ok
+}
+
+// Word returns the word for id, or "<unk>" if out of range.
+func (t *Tokenizer) Word(id int) string {
+	if id < 0 || id >= len(t.words) {
+		return "<unk>"
+	}
+	return t.words[id]
+}
+
+// Encode splits text into words (see Split) and interns each one.
+func (t *Tokenizer) Encode(text string) []int {
+	words := Split(text)
+	out := make([]int, len(words))
+	for i, w := range words {
+		out[i] = t.Intern(w)
+	}
+	return out
+}
+
+// EncodeKnown is like Encode but maps unknown words to -1 instead of
+// growing the vocabulary. Use it for query-time text once a model's
+// embedding table has been sized.
+func (t *Tokenizer) EncodeKnown(text string) []int {
+	words := Split(text)
+	out := make([]int, len(words))
+	for i, w := range words {
+		if id, ok := t.ids[w]; ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Decode joins the words for ids with single spaces.
+func (t *Tokenizer) Decode(ids []int) string {
+	var b strings.Builder
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Word(id))
+	}
+	return b.String()
+}
+
+// Split lower-cases text and splits it into word tokens. Punctuation
+// becomes its own token so that sentence structure survives round-trips.
+func Split(text string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-':
+			cur.WriteRune(unicode.ToLower(r))
+		case unicode.IsSpace(r):
+			flush()
+		default:
+			flush()
+			words = append(words, string(r))
+		}
+	}
+	flush()
+	return words
+}

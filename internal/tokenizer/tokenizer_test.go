@@ -1,0 +1,107 @@
+package tokenizer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitBasics(t *testing.T) {
+	got := Split("Hello, World!")
+	want := []string{"hello", ",", "world", "!"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Split=%v want %v", got, want)
+	}
+}
+
+func TestSplitHyphenAndDigits(t *testing.T) {
+	got := Split("top-6 chunks of 512 tokens")
+	want := []string{"top-6", "chunks", "of", "512", "tokens"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Split=%v want %v", got, want)
+	}
+}
+
+func TestInternStableIDs(t *testing.T) {
+	tok := New()
+	a := tok.Intern("alpha")
+	b := tok.Intern("beta")
+	if a != 0 || b != 1 {
+		t.Fatalf("ids %d %d, want 0 1", a, b)
+	}
+	if tok.Intern("alpha") != 0 {
+		t.Fatal("re-intern must return same id")
+	}
+	if tok.Size() != 2 {
+		t.Fatalf("size %d want 2", tok.Size())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tok := New()
+	text := "the quick brown fox jumps over the lazy dog"
+	ids := tok.Encode(text)
+	if tok.Decode(ids) != text {
+		t.Fatalf("round trip got %q", tok.Decode(ids))
+	}
+	// Same text must encode to same ids.
+	if !reflect.DeepEqual(ids, tok.Encode(text)) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+func TestEncodeKnownUnknownIsMinusOne(t *testing.T) {
+	tok := New()
+	tok.Encode("known words only")
+	ids := tok.EncodeKnown("known mystery")
+	if ids[0] < 0 {
+		t.Fatal("known word mapped to -1")
+	}
+	if ids[1] != -1 {
+		t.Fatalf("unknown word must map to -1, got %d", ids[1])
+	}
+	if tok.Size() != 3 {
+		t.Fatal("EncodeKnown must not grow vocabulary")
+	}
+}
+
+func TestLookupAndWord(t *testing.T) {
+	tok := New()
+	id := tok.Intern("x")
+	if got, ok := tok.Lookup("x"); !ok || got != id {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := tok.Lookup("y"); ok {
+		t.Fatal("lookup of missing word must fail")
+	}
+	if tok.Word(id) != "x" {
+		t.Fatal("Word wrong")
+	}
+	if tok.Word(999) != "<unk>" || tok.Word(-1) != "<unk>" {
+		t.Fatal("out-of-range Word must be <unk>")
+	}
+}
+
+func TestDeterminismAcrossInstances(t *testing.T) {
+	text := "alpha beta gamma alpha delta"
+	a := New().Encode(text)
+	b := New().Encode(text)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two tokenizers fed identical text must agree")
+	}
+}
+
+func TestSplitIdempotentProperty(t *testing.T) {
+	// Splitting the re-joined split of any string yields the same tokens:
+	// Split(join(Split(s))) == Split(s).
+	f := func(s string) bool {
+		first := Split(s)
+		tok := New()
+		joined := tok.Decode(tok.Encode(s))
+		second := Split(joined)
+		return reflect.DeepEqual(first, second)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
