@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/baselines"
@@ -226,6 +227,30 @@ func BenchmarkServingStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		serve.Run(cfg, 0.5, 200, 50, int64(i))
+	}
+}
+
+// BenchmarkServeReplicas sweeps the replica count of the concurrent
+// serving runtime at a fixed overload, reporting the sustained
+// completion rate — the throughput baseline future scaling PRs compare
+// against.
+func BenchmarkServeReplicas(b *testing.B) {
+	for _, replicas := range []int{1, 2, 4, 8} {
+		replicas := replicas
+		b.Run(fmt.Sprintf("replicas=%d", replicas), func(b *testing.B) {
+			cfg := serve.Config{
+				Spec: timing.Mistral7B, Scheme: baselines.CacheBlend, Ratio: 0.15,
+				Device: device.NVMeSSD, Replicas: replicas, MaxBatch: 4,
+				ChunkPool: 500, ChunksPerRequest: 6, ChunkTokens: 512,
+				QueryTokens: 32, Skew: 0.8,
+			}
+			var tput float64
+			for i := 0; i < b.N; i++ {
+				res := serve.Run(cfg, 8*float64(replicas), 400, 100, 42)
+				tput = res.Throughput
+			}
+			b.ReportMetric(tput, "req/s")
+		})
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	cacheblend-serve -model Mistral-7B -scheme cacheblend -rates 0.2,0.5,1,2
 //	cacheblend-serve -model Yi-34B -scheme prefix-caching -capacity 64
+//	cacheblend-serve -replicas 4 -batch 8 -shards 16
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/timing"
 )
@@ -32,8 +34,12 @@ func main() {
 		pool      = flag.Int("pool", 1500, "distinct chunks in the corpus")
 		chunks    = flag.Int("chunks", 6, "chunks per request")
 		chunkTok  = flag.Int("chunk-tokens", 512, "tokens per chunk")
+		replicas  = flag.Int("replicas", 1, "model replicas pulling from the shared queue")
+		batch     = flag.Int("batch", 1, "continuous-batching cap per replica step")
+		shards    = flag.Int("shards", 0, "KV store shards (0 = default)")
 		n         = flag.Int("n", 1500, "requests per rate point")
 		seed      = flag.Int64("seed", 42, "workload seed")
+		verbose   = flag.Bool("v", false, "print per-replica utilization and batch histograms")
 	)
 	flag.Parse()
 
@@ -50,6 +56,9 @@ func main() {
 		Scheme:           baselines.Scheme(*scheme),
 		Ratio:            *ratio,
 		Device:           dev,
+		StoreShards:      *shards,
+		Replicas:         *replicas,
+		MaxBatch:         *batch,
 		ChunkPool:        *pool,
 		ChunksPerRequest: *chunks,
 		ChunkTokens:      *chunkTok,
@@ -62,7 +71,7 @@ func main() {
 
 	var rates []float64
 	if *ratesCSV == "" {
-		cap0 := 1 / spec.FullPrefillTTFT(*chunks**chunkTok+32)
+		cap0 := float64(*replicas) / spec.FullPrefillTTFT(*chunks**chunkTok+32)
 		rates = []float64{cap0 * 0.25, cap0 * 0.5, cap0, cap0 * 2, cap0 * 4}
 	} else {
 		for _, part := range strings.Split(*ratesCSV, ",") {
@@ -74,11 +83,23 @@ func main() {
 		}
 	}
 
-	fmt.Printf("model=%s scheme=%s device=%s pool=%d chunks=%d×%d tokens\n",
-		spec.Name, cfg.Scheme, dev.Name, *pool, *chunks, *chunkTok)
+	fmt.Printf("model=%s scheme=%s device=%s pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
+		spec.Name, cfg.Scheme, dev.Name, *pool, *chunks, *chunkTok, *replicas, *batch)
 	for _, res := range serve.RateSweep(cfg, rates, *n, *n/3, *seed) {
 		fmt.Println(res)
+		if *verbose {
+			fmt.Printf("  replica-util=%s batch-sizes=%s\n",
+				fmtUtils(res.ReplicaUtil), metrics.FormatCounts(res.BatchSizes))
+		}
 	}
+}
+
+func fmtUtils(utils []float64) string {
+	parts := make([]string, len(utils))
+	for i, u := range utils {
+		parts[i] = fmt.Sprintf("%.0f%%", u*100)
+	}
+	return strings.Join(parts, ",")
 }
 
 func fatal(err error) {

@@ -231,6 +231,26 @@ func (cfg Config) Run(req Request) (*Result, error) {
 	return res, nil
 }
 
+// PipelineTime is the analytic twin of Run's goroutine pipeline: the
+// completion time of a loader streaming `layers` layers at loadLayer
+// seconds each, one ahead of a fusor spending compLayer seconds per
+// layer, where layer i's recompute starts only after both its KV load
+// and layer i-1's recompute finish. Whichever side is slower paces the
+// pipeline and the other is hidden. The serving runtime uses this as the
+// per-replica execution model for blended prefills.
+func PipelineTime(layers int, loadLayer, compLayer float64) float64 {
+	loadDone, compDone := 0.0, 0.0
+	for i := 0; i < layers; i++ {
+		loadDone += loadLayer
+		start := loadDone
+		if compDone > start {
+			start = compDone
+		}
+		compDone = start + compLayer
+	}
+	return compDone
+}
+
 func allIdx(n int) []int {
 	idx := make([]int, n)
 	for i := range idx {

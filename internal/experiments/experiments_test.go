@@ -169,3 +169,21 @@ func TestFig12SmallRun(t *testing.T) {
 		}
 	}
 }
+
+func TestFig14ScalingShape(t *testing.T) {
+	tab := Fig14Scaling(400)
+	if len(tab.Rows) != 3*4 {
+		t.Fatalf("want 12 rows (3 replica counts × 4 rates), got %d", len(tab.Rows))
+	}
+	// At the top (most saturating) rate, the 4-replica cluster must
+	// complete requests faster than the single replica.
+	tput := map[string]float64{}
+	for i, row := range tab.Rows {
+		if (i+1)%4 == 0 { // last rate of each replica block
+			tput[row[0]] = num(t, cell(t, tab, i, "tput(req/s)"))
+		}
+	}
+	if tput["4"] <= tput["1"] {
+		t.Fatalf("4-replica saturated throughput %.2f not above 1-replica %.2f", tput["4"], tput["1"])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/dataset"
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/timing"
 )
@@ -61,6 +62,7 @@ func Fig14(requests int) *Table {
 					Ratio:            0.15,
 					Device:           device.NVMeSSD,
 					StoreCapacity:    v.capacity(spec),
+					Replicas:         1, // the paper's single-GPU testbed
 					ChunkPool:        wl.pool,
 					ChunksPerRequest: 6,
 					ChunkTokens:      512,
@@ -75,6 +77,53 @@ func Fig14(requests int) *Table {
 					})
 				}
 			}
+		}
+	}
+	return t
+}
+
+// Fig14Scaling extends Figure 14 beyond the paper's single-GPU testbed:
+// the same CacheBlend rate sweep across replica counts with continuous
+// batching, showing how the serving runtime's saturation point moves as
+// the cluster scales out over one shared sharded KV store.
+func Fig14Scaling(requests int) *Table {
+	if requests <= 0 {
+		requests = 900
+	}
+	warmup := requests / 3
+	spec := timing.Mistral7B
+	t := &Table{
+		Title: "Figure 14 (scaling): CacheBlend TTFT vs rate across replicas (Mistral-7B)",
+		Header: []string{"replicas", "rate(req/s)", "mean-ttft(s)", "p95(s)",
+			"tput(req/s)", "mean-batch", "mean-util"},
+		Notes: []string{
+			"continuous batching, cap 4; one sharded KV store shared by all replicas",
+			fmt.Sprintf("%d requests per point, first %d excluded as warmup", requests, warmup),
+		},
+	}
+	base := serve.Config{
+		Spec:             spec,
+		Scheme:           baselines.CacheBlend,
+		Ratio:            0.15,
+		Device:           device.NVMeSSD,
+		MaxBatch:         4,
+		ChunkPool:        1500,
+		ChunksPerRequest: 6,
+		ChunkTokens:      512,
+		QueryTokens:      32,
+		Skew:             0.8,
+	}
+	soloCap := serve.Capacity(base, 42)
+	rates := []float64{soloCap, 2 * soloCap, 4 * soloCap, 8 * soloCap}
+	for _, replicas := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Replicas = replicas
+		for _, res := range serve.RateSweep(cfg, rates, requests, warmup, 42) {
+			util := metrics.Mean(res.ReplicaUtil)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(replicas), f3(res.Rate), f3(res.MeanTTFT), f3(res.P95TTFT),
+				f2(res.Throughput), f2(res.MeanBatch), pct(util),
+			})
 		}
 	}
 	return t

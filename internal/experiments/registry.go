@@ -36,8 +36,10 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{Fig12(o.MaxCases)} }},
 		{"13", "CacheBlend vs MapReduce / MapRerank",
 			func(o RunOpts) []*Table { return []*Table{Fig13(o.MaxCases)} }},
-		{"14", "TTFT vs request rate (serving simulation) + extended-workload quality",
-			func(o RunOpts) []*Table { return []*Table{Fig14(o.Requests), Fig14Quality(o.MaxCases)} }},
+		{"14", "TTFT vs request rate (serving simulation) + replica scaling + extended-workload quality",
+			func(o RunOpts) []*Table {
+				return []*Table{Fig14(o.Requests), Fig14Scaling(o.Requests), Fig14Quality(o.MaxCases)}
+			}},
 		{"15", "sensitivity to chunk count, chunk length, batch size",
 			func(o RunOpts) []*Table { return []*Table{Fig15()} }},
 		{"16", "quality vs TTFT across recompute ratios",

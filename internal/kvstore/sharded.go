@@ -1,0 +1,106 @@
+// Sharded store: the multi-replica serving runtime's shared KV cache.
+// Chunk IDs are content hashes, so routing on the ID's leading bytes
+// spreads entries uniformly across independent Stores, each with its own
+// lock, writer goroutine and capacity slice — removing the single-mutex /
+// single-writer bottleneck when many replica workers hit the store at
+// once.
+package kvstore
+
+import (
+	"encoding/binary"
+
+	"repro/internal/chunk"
+	"repro/internal/device"
+)
+
+// Sharded is a capacity-bounded KV store split across independently
+// locked shards. It is safe for concurrent use.
+type Sharded struct {
+	shards []*Store
+}
+
+// NewSharded creates a store of n shards on dev with the total capacity
+// split evenly (capacity ≤ 0 means unbounded; n ≤ 0 means one shard).
+func NewSharded(dev device.Device, capacity int64, policy Policy, n int) *Sharded {
+	if n <= 0 {
+		n = 1
+	}
+	per := int64(0)
+	if capacity > 0 {
+		per = capacity / int64(n)
+		if per <= 0 {
+			per = 1
+		}
+	}
+	s := &Sharded{shards: make([]*Store, n)}
+	for i := range s.shards {
+		s.shards[i] = New(dev, per, policy)
+	}
+	return s
+}
+
+// shard routes id to its shard. Chunk IDs are SHA-256 output, so the
+// leading 8 bytes are already uniformly distributed.
+func (s *Sharded) shard(id chunk.ID) *Store {
+	return s.shards[binary.LittleEndian.Uint64(id[:8])%uint64(len(s.shards))]
+}
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Device returns the backing device (shared by all shards).
+func (s *Sharded) Device() device.Device { return s.shards[0].Device() }
+
+// Get looks id up in its shard.
+func (s *Sharded) Get(id chunk.ID) (Sized, bool) { return s.shard(id).Get(id) }
+
+// Contains reports presence without touching recency or stats.
+func (s *Sharded) Contains(id chunk.ID) bool { return s.shard(id).Contains(id) }
+
+// Put inserts into id's shard, evicting within that shard as needed.
+func (s *Sharded) Put(id chunk.ID, payload Sized) error { return s.shard(id).Put(id, payload) }
+
+// PutAsync queues the write on id's shard's background writer.
+func (s *Sharded) PutAsync(id chunk.ID, payload Sized) { s.shard(id).PutAsync(id, payload) }
+
+// LoadTime returns the simulated read time of id's payload (0 if absent).
+func (s *Sharded) LoadTime(id chunk.ID) float64 { return s.shard(id).LoadTime(id) }
+
+// Used returns the total stored bytes across shards.
+func (s *Sharded) Used() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		n += sh.Used()
+	}
+	return n
+}
+
+// Len returns the total entry count across shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Stats returns the summed counters of all shards.
+func (s *Sharded) Stats() Stats {
+	var t Stats
+	for _, sh := range s.shards {
+		st := sh.Stats()
+		t.Hits += st.Hits
+		t.Misses += st.Misses
+		t.Puts += st.Puts
+		t.Evictions += st.Evictions
+		t.BytesStored += st.BytesStored
+	}
+	return t
+}
+
+// Close stops every shard's background writer.
+func (s *Sharded) Close() {
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -184,6 +185,94 @@ func CDF(x []float64) []CDFPoint {
 		out[i] = CDFPoint{X: v, P: float64(i+1) / float64(len(s))}
 	}
 	return out
+}
+
+// Histogram counts integer-valued observations — the serving runtime
+// uses it for batch-size distributions. The zero value is ready to use.
+type Histogram struct {
+	counts map[int]int64
+	n, sum int64
+}
+
+// Observe records one observation of v.
+func (h *Histogram) Observe(v int) {
+	if h.counts == nil {
+		h.counts = map[int]int64{}
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += int64(v)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Count returns how often v was observed.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Mean returns the mean observation, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observed value, or 0 when empty.
+func (h *Histogram) Max() int {
+	m := 0
+	for v := range h.counts {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Counts returns a copy of the value→count map.
+func (h *Histogram) Counts() map[int]int64 {
+	out := make(map[int]int64, len(h.counts))
+	for v, c := range h.counts {
+		out[v] = c
+	}
+	return out
+}
+
+// String renders "v:count" pairs in ascending value order.
+func (h *Histogram) String() string { return FormatCounts(h.counts) }
+
+// FormatCounts renders a value→count map as "v:count" pairs in ascending
+// value order — the shared rendering for batch-size histograms.
+func FormatCounts(counts map[int]int64) string {
+	vals := make([]int, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	s := ""
+	for i, v := range vals {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%d", v, counts[v])
+	}
+	return s
+}
+
+// Utilization returns busy/total, clamped to [0, 1] (0 when total ≤ 0) —
+// the per-replica GPU utilization measure of the serving runtime.
+func Utilization(busy, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	u := busy / total
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
 }
 
 // CDFAt interpolates the cumulative probability of v on an empirical CDF.

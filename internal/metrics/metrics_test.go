@@ -182,3 +182,49 @@ func TestCDF(t *testing.T) {
 		t.Fatal("empty CDF must be 0")
 	}
 }
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.N() != 0 || h.Mean() != 0 || h.Max() != 0 || h.String() != "" {
+		t.Fatal("zero-value histogram not empty")
+	}
+	for _, v := range []int{1, 1, 2, 4, 4, 4} {
+		h.Observe(v)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d, want 6", h.N())
+	}
+	if h.Count(4) != 3 || h.Count(3) != 0 {
+		t.Fatalf("counts wrong: %v", h.Counts())
+	}
+	if !eq(h.Mean(), 16.0/6, 1e-9) {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 4 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.String() != "1:2 2:1 4:3" {
+		t.Fatalf("String = %q", h.String())
+	}
+	c := h.Counts()
+	c[1] = 99 // mutating the copy must not touch the histogram
+	if h.Count(1) != 2 {
+		t.Fatal("Counts() returned a live reference")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	cases := []struct{ busy, total, want float64 }{
+		{0, 10, 0},
+		{5, 10, 0.5},
+		{10, 10, 1},
+		{15, 10, 1}, // clamp high
+		{-1, 10, 0}, // clamp low
+		{1, 0, 0},   // no elapsed time
+	}
+	for _, c := range cases {
+		if got := Utilization(c.busy, c.total); !eq(got, c.want, 1e-12) {
+			t.Fatalf("Utilization(%v, %v) = %v, want %v", c.busy, c.total, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// The concurrent serving runtime: one arrival process feeds a shared
+// admission queue; N replica processes pull from it and execute requests
+// with continuous batching. A request's prefill is decomposed into
+// ChunksPerRequest+1 equal steps (one per context chunk plus the query
+// suffix); replicas admit waiting requests into the running batch and
+// retire finished ones only at these chunk-granularity boundaries, the
+// way vLLM-style continuous batching admits at iteration boundaries.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// request is one queued serving request.
+type request struct {
+	idx     int
+	arrival float64
+	ids     []int // retrieved chunk ids, sampled at generation time
+}
+
+// member is a request resident in a replica's running batch.
+type member struct {
+	req       request
+	unit      float64 // duration of one of its steps
+	remaining int     // steps left
+}
+
+// cluster is the state of one simulated run.
+type cluster struct {
+	cfg        Config
+	rate       float64
+	n, warmup  int
+	seed       int64
+	clock      *sim.Clock
+	queue      *sim.Queue[request]
+	store      *kvstore.Sharded
+	arrivals   []float64
+	chunkBytes int64
+
+	ttfts     []float64
+	completed int
+	lastDone  float64
+	busy      []float64
+	batchHist metrics.Histogram
+	depthSum  float64
+	depthN    int
+}
+
+func newCluster(cfg Config, rate float64, n, warmup int, seed int64) *cluster {
+	return &cluster{cfg: cfg, rate: rate, n: n, warmup: warmup, seed: seed}
+}
+
+// run executes the simulation and aggregates the Result.
+func (c *cluster) run() Result {
+	cfg := c.cfg
+	g := tensor.NewRNG(c.seed)
+	c.arrivals = sim.PoissonArrivals(g, c.rate, c.n)
+	// Sample every request's chunk ids up front, in arrival order, so the
+	// workload depends only on the seed — not on runtime interleaving.
+	reqs := make([]request, c.n)
+	for i := range reqs {
+		ids := make([]int, cfg.ChunksPerRequest)
+		for j := range ids {
+			ids[j] = sim.Zipf(g, cfg.ChunkPool, cfg.Skew)
+		}
+		reqs[i] = request{idx: i, arrival: c.arrivals[i], ids: ids}
+	}
+
+	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
+	// Never shard so finely that a shard can't hold one chunk — a tiny
+	// bounded store would silently reject every Put and serve 0% hits.
+	shards := cfg.shards()
+	if cfg.StoreCapacity > 0 {
+		if maxShards := int(cfg.StoreCapacity / c.chunkBytes); maxShards < shards {
+			shards = maxShards
+			if shards < 1 {
+				shards = 1
+			}
+		}
+	}
+	c.store = kvstore.NewSharded(cfg.Device, cfg.StoreCapacity, kvstore.LRU, shards)
+	defer c.store.Close()
+
+	c.clock = sim.NewClock()
+	c.queue = sim.NewQueue[request](c.clock)
+	c.busy = make([]float64, cfg.replicas())
+
+	c.clock.Go("arrivals", func(p *sim.Proc) {
+		for _, r := range reqs {
+			p.SleepUntil(r.arrival)
+			// Sample the depth each arrival finds, excluding itself
+			// (arrivals see time averages — PASTA).
+			c.depthSum += float64(c.queue.Len())
+			c.depthN++
+			c.queue.Push(r)
+		}
+		c.queue.Close()
+	})
+	for r := 0; r < cfg.replicas(); r++ {
+		r := r
+		c.clock.Go(fmt.Sprintf("replica-%d", r), func(p *sim.Proc) {
+			c.replica(p, r)
+		})
+	}
+	end := c.clock.Run()
+
+	res := Result{
+		Rate:       c.rate,
+		Requests:   c.completed,
+		Replicas:   cfg.replicas(),
+		MeanBatch:  c.batchHist.Mean(),
+		BatchSizes: c.batchHist.Counts(),
+	}
+	res.MeanTTFT = metrics.Mean(c.ttfts)
+	res.P95TTFT = metrics.Percentile(c.ttfts, 95)
+	if c.completed > 0 && c.warmup < c.n && c.lastDone > c.arrivals[c.warmup] {
+		res.Throughput = float64(c.completed) / (c.lastDone - c.arrivals[c.warmup])
+	}
+	res.HitRate = c.store.Stats().HitRate()
+	if c.depthN > 0 {
+		res.MeanQueueDepth = c.depthSum / float64(c.depthN)
+	}
+	res.ReplicaUtil = make([]float64, len(c.busy))
+	for i, b := range c.busy {
+		res.ReplicaUtil[i] = metrics.Utilization(b, end)
+	}
+	return res
+}
+
+// replica is one worker process: it keeps a running batch, admitting from
+// the shared queue and retiring completions at step boundaries.
+func (c *cluster) replica(p *sim.Proc, r int) {
+	var batch []*member
+	for {
+		if len(batch) == 0 {
+			// Idle: block on the admission queue.
+			req, ok := c.queue.Pop(p)
+			if !ok {
+				return // queue closed and drained, batch empty — done
+			}
+			batch = append(batch, c.admit(req))
+		}
+		// Continuous batching, join side: top the batch up with whatever
+		// is waiting, without blocking — new requests only enter at a
+		// step boundary.
+		for len(batch) < c.cfg.maxBatch() {
+			req, ok := c.queue.TryPop()
+			if !ok {
+				break
+			}
+			batch = append(batch, c.admit(req))
+		}
+		// Execute one step for every member in lockstep: the longest
+		// member paces the step, each extra sequence adds the marginal
+		// batching cost.
+		step := c.stepTime(batch)
+		p.Sleep(step)
+		c.busy[r] += step
+		c.batchHist.Observe(len(batch))
+		// Leave side: retire members whose last step just finished.
+		live := batch[:0]
+		for _, m := range batch {
+			m.remaining--
+			if m.remaining == 0 {
+				c.complete(p, m)
+			} else {
+				live = append(live, m)
+			}
+		}
+		batch = live
+	}
+}
+
+// admit computes the request's per-scheme service time against the shared
+// store's current state and splits it into chunk-boundary steps.
+func (c *cluster) admit(req request) *member {
+	steps := c.cfg.ChunksPerRequest + 1 // one per chunk, one for the query
+	service := serviceTime(c.cfg, c.store, req.ids, c.chunkBytes)
+	return &member{req: req, unit: service / float64(steps), remaining: steps}
+}
+
+// stepTime is the virtual duration of one batched step.
+func (c *cluster) stepTime(batch []*member) float64 {
+	longest := 0.0
+	for _, m := range batch {
+		if m.unit > longest {
+			longest = m.unit
+		}
+	}
+	return longest * (1 + c.cfg.batchOverhead()*float64(len(batch)-1))
+}
+
+// complete records a finished request (post-warmup only).
+func (c *cluster) complete(p *sim.Proc, m *member) {
+	if m.req.idx < c.warmup {
+		return
+	}
+	done := p.Now()
+	c.ttfts = append(c.ttfts, done-m.req.arrival)
+	c.completed++
+	if done > c.lastDone {
+		c.lastDone = done
+	}
+}

@@ -1,9 +1,17 @@
 // Package serve simulates an LLM serving deployment end to end: Poisson
-// request arrivals, a FCFS GPU queue, a capacity-bounded KV cache store
-// with chunk popularity, and per-scheme prefill costs from the calibrated
-// timing model. It reproduces the paper's throughput study (Figure 14):
-// TTFT as a function of request rate for CacheBlend, full KV recompute and
-// prefix caching on the extended RAG datasets.
+// request arrivals into a shared admission queue, N replica workers with
+// continuous batching (requests join and leave a running batch at
+// chunk-granularity step boundaries), a capacity-bounded sharded KV cache
+// store shared by all replicas, and per-scheme prefill costs from the
+// calibrated timing model. It reproduces the paper's throughput study
+// (Figure 14) — TTFT as a function of request rate for CacheBlend, full
+// KV recompute and prefix caching — and extends it with the replica- and
+// batch-scaling dimension a production deployment lives in.
+//
+// The runtime runs on sim.Clock: every replica is a real goroutine, but
+// the virtual-time scheduler hands execution to one process at a time, so
+// runs with the same seed are bit-identical while go test -race still
+// observes every cross-replica hand-off.
 package serve
 
 import (
@@ -12,10 +20,8 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/chunk"
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/kvstore"
-	"repro/internal/metrics"
-	"repro/internal/sim"
-	"repro/internal/tensor"
 	"repro/internal/timing"
 )
 
@@ -33,6 +39,24 @@ type Config struct {
 	Device device.Device
 	// StoreCapacity bounds the KV store (0 = unbounded).
 	StoreCapacity int64
+	// StoreShards splits the KV store into independently locked shards
+	// keyed by chunk-ID hash. Each shard gets an equal slice of
+	// StoreCapacity and runs its own LRU. 0 picks a default: 1 shard for
+	// a single replica (exact global LRU, the paper's setup), 8 when
+	// replicas share the store.
+	StoreShards int
+	// Replicas is the number of model replicas pulling from the shared
+	// admission queue (0 = 1).
+	Replicas int
+	// MaxBatch caps how many requests one replica advances per step with
+	// continuous batching (0 = 1, no batching).
+	MaxBatch int
+	// BatchOverhead is the marginal step-time factor of each additional
+	// sequence in a batch: a step over B requests costs the longest
+	// member step × (1 + BatchOverhead×(B−1)). Values below 1 make
+	// batching pay (amortised weight loading, cf. Figure 15c); 0 uses
+	// the default 0.35.
+	BatchOverhead float64
 	// ChunkPool is the number of distinct chunks in the corpus.
 	ChunkPool int
 	// ChunksPerRequest is how many chunks each request retrieves.
@@ -45,6 +69,41 @@ type Config struct {
 	Skew float64
 }
 
+// replicas returns the effective replica count.
+func (c Config) replicas() int {
+	if c.Replicas <= 0 {
+		return 1
+	}
+	return c.Replicas
+}
+
+// maxBatch returns the effective per-step batch cap.
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 1
+	}
+	return c.MaxBatch
+}
+
+// batchOverhead returns the effective marginal batch cost factor.
+func (c Config) batchOverhead() float64 {
+	if c.BatchOverhead <= 0 {
+		return 0.35
+	}
+	return c.BatchOverhead
+}
+
+// shards returns the effective store shard count.
+func (c Config) shards() int {
+	if c.StoreShards > 0 {
+		return c.StoreShards
+	}
+	if c.replicas() == 1 {
+		return 1 // exact global LRU when nothing contends
+	}
+	return 8
+}
+
 // Result summarises one simulated run.
 type Result struct {
 	Rate       float64 // offered request rate (req/s)
@@ -53,72 +112,48 @@ type Result struct {
 	Throughput float64 // completed requests/s over the run
 	HitRate    float64 // KV store hit rate over chunk lookups
 	Requests   int
+	// Replicas is the replica count the run used.
+	Replicas int
+	// MeanBatch is the mean executed batch size across replica steps.
+	MeanBatch float64
+	// BatchSizes histograms executed batch sizes (size → step count).
+	BatchSizes map[int]int64
+	// MeanQueueDepth is the admission-queue depth each arrival found
+	// (excluding itself).
+	MeanQueueDepth float64
+	// ReplicaUtil is each replica's busy fraction of the run.
+	ReplicaUtil []float64
 }
 
 // String renders the result as a table row.
 func (r Result) String() string {
-	return fmt.Sprintf("rate=%.2f mean_ttft=%.3fs p95=%.3fs tput=%.2f hit=%.0f%%",
-		r.Rate, r.MeanTTFT, r.P95TTFT, r.Throughput, r.HitRate*100)
+	return fmt.Sprintf("rate=%.2f mean_ttft=%.3fs p95=%.3fs tput=%.2f hit=%.0f%% replicas=%d batch=%.1f qdepth=%.1f",
+		r.Rate, r.MeanTTFT, r.P95TTFT, r.Throughput, r.HitRate*100, r.Replicas, r.MeanBatch, r.MeanQueueDepth)
 }
 
 // Run simulates n requests arriving at the given Poisson rate and returns
 // aggregate TTFT/throughput statistics. The first warmup requests are
 // excluded from statistics (the paper skips its first 1 000 queries while
-// the store is cold).
+// the store is cold). Same cfg, rate and seed ⇒ identical Result.
 func Run(cfg Config, rate float64, n, warmup int, seed int64) Result {
 	if cfg.ChunksPerRequest <= 0 || cfg.ChunkTokens <= 0 || cfg.ChunkPool <= 0 {
 		panic(fmt.Sprintf("serve: degenerate config %+v", cfg))
 	}
-	g := tensor.NewRNG(seed)
-	arrivals := sim.PoissonArrivals(g, rate, n)
-	store := kvstore.New(cfg.Device, cfg.StoreCapacity, kvstore.LRU)
-	defer store.Close()
-
-	eng := sim.NewEngine()
-	serverFree := 0.0
-	var ttfts []float64
-	var lastDone float64
-	completed := 0
-
-	chunkBytes := cfg.Spec.KVBytes(cfg.ChunkTokens)
-	for i := 0; i < n; i++ {
-		i := i
-		at := arrivals[i]
-		// Sample the request's chunk ids up front (deterministic).
-		ids := make([]int, cfg.ChunksPerRequest)
-		for j := range ids {
-			ids[j] = sim.Zipf(g, cfg.ChunkPool, cfg.Skew)
-		}
-		eng.At(at, func(now float64) {
-			service := serviceTime(cfg, store, ids, chunkBytes)
-			start := now
-			if serverFree > start {
-				start = serverFree
-			}
-			done := start + service
-			serverFree = done
-			if i >= warmup {
-				ttfts = append(ttfts, done-at)
-				completed++
-				lastDone = done
-			}
-		})
+	switch cfg.Scheme {
+	case baselines.FullRecompute, baselines.PrefixCaching, baselines.FullKVReuse, baselines.CacheBlend:
+	default:
+		// Reject here, on the caller's goroutine, rather than mid-run on
+		// a replica process.
+		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))
 	}
-	eng.Run()
-
-	res := Result{Rate: rate, Requests: completed}
-	res.MeanTTFT = metrics.Mean(ttfts)
-	res.P95TTFT = metrics.Percentile(ttfts, 95)
-	if completed > 0 && lastDone > arrivals[warmup] {
-		res.Throughput = float64(completed) / (lastDone - arrivals[warmup])
-	}
-	res.HitRate = store.Stats().HitRate()
-	return res
+	return newCluster(cfg, rate, n, warmup, seed).run()
 }
 
 // serviceTime computes one request's prefill service time under the
-// scheme, updating the KV store.
-func serviceTime(cfg Config, store *kvstore.Store, ids []int, chunkBytes int64) float64 {
+// scheme, updating the KV store. It is evaluated when the request is
+// admitted into a replica's batch, against the store's state at that
+// moment.
+func serviceTime(cfg Config, store *kvstore.Sharded, ids []int, chunkBytes int64) float64 {
 	L := cfg.ChunksPerRequest*cfg.ChunkTokens + cfg.QueryTokens
 	spec := cfg.Spec
 	switch cfg.Scheme {
@@ -158,8 +193,8 @@ func serviceTime(cfg Config, store *kvstore.Store, ids []int, chunkBytes int64) 
 			return loadCost + missCost + spec.DecodeSecPerToken
 		}
 		// CacheBlend: selective recompute of the reused tokens, pipelined
-		// with their loading (§5); missing chunks and the query are full
-		// prefill.
+		// with their loading (§5) per the engine's loader/fusor schedule;
+		// missing chunks and the query are full prefill.
 		hitTokens := hits * cfg.ChunkTokens
 		blendCost := pipelineCost(spec, cfg.Ratio, hitTokens, cfg.Device)
 		return blendCost + missCost + spec.DecodeSecPerToken
@@ -170,23 +205,15 @@ func serviceTime(cfg Config, store *kvstore.Store, ids []int, chunkBytes int64) 
 }
 
 // pipelineCost is the pipelined load+recompute time for reusing hitTokens
-// of KV (zero when nothing is reused).
+// of KV (zero when nothing is reused), per the engine's two-thread
+// loader/fusor schedule.
 func pipelineCost(spec timing.Spec, ratio float64, hitTokens int, d device.Device) float64 {
 	if hitTokens == 0 {
 		return 0
 	}
 	loadLayer := d.ReadTime(spec.LayerBytes(hitTokens))
 	compLayer := spec.RecomputeLayer(ratio, hitTokens)
-	loadDone, compDone := 0.0, 0.0
-	for i := 0; i < spec.Layers; i++ {
-		loadDone += loadLayer
-		start := loadDone
-		if compDone > start {
-			start = compDone
-		}
-		compDone = start + compLayer
-	}
-	return compDone
+	return engine.PipelineTime(spec.Layers, loadLayer, compLayer)
 }
 
 func chunkKey(cfg Config, id int) chunk.ID {
@@ -198,7 +225,7 @@ func prefixKey(cfg Config, id int) chunk.ID {
 }
 
 // RateSweep runs the simulation across request rates and returns one
-// Result per rate — the data series of Figure 14.
+// Result per rate — the data series of Figure 14, now per replica count.
 func RateSweep(cfg Config, rates []float64, n, warmup int, seed int64) []Result {
 	out := make([]Result, 0, len(rates))
 	for _, r := range rates {
@@ -207,13 +234,30 @@ func RateSweep(cfg Config, rates []float64, n, warmup int, seed int64) []Result 
 	return out
 }
 
-// Capacity returns the maximum sustainable request rate of the
-// configuration: the reciprocal of the steady-state mean service time,
-// measured by probing the simulator at a very low rate.
+// Capacity returns the maximum sustainable request rate of a single
+// replica without batching: the reciprocal of the steady-state mean
+// service time, measured by probing the simulator at a very low rate.
 func Capacity(cfg Config, seed int64) float64 {
-	probe := Run(cfg, 0.01, 400, 100, seed)
-	if probe.MeanTTFT <= 0 {
+	probe := cfg
+	probe.Replicas = 1
+	probe.MaxBatch = 1
+	res := Run(probe, 0.01, 400, 100, seed)
+	if res.MeanTTFT <= 0 {
 		return 0
 	}
-	return 1 / probe.MeanTTFT
+	return 1 / res.MeanTTFT
+}
+
+// SaturationRate measures the configuration's maximum sustained
+// completion rate — replicas and continuous batching included — by
+// offering far more load than one replica can absorb and measuring the
+// completed-request throughput.
+func SaturationRate(cfg Config, seed int64) float64 {
+	perReplica := Capacity(cfg, seed)
+	if perReplica <= 0 {
+		return 0
+	}
+	overload := 4 * perReplica * float64(cfg.replicas()*cfg.maxBatch())
+	res := Run(cfg, overload, 600, 150, seed)
+	return res.Throughput
 }

@@ -1,0 +1,186 @@
+// Process-oriented layer on top of the event engine: a virtual Clock that
+// coordinates goroutine "processes" so concurrent serving runtimes (N
+// replica workers pulling from shared queues) simulate deterministically.
+//
+// Exactly one process runs at any instant: the scheduler hands a run
+// token to the process due at the earliest virtual time, and the process
+// hands it back when it sleeps, blocks on a Queue, or exits. Processes
+// are real goroutines — the race detector sees every hand-off — but the
+// single-token discipline plus the (time, seq) event order makes every
+// run with the same inputs bit-identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Clock schedules process goroutines over virtual time.
+type Clock struct {
+	now     float64
+	seq     int
+	heap    eventHeap
+	yielded chan struct{} // a running process signals the scheduler here
+	live    int           // registered, not-yet-finished processes
+}
+
+// NewClock returns a clock at virtual time 0 with no processes.
+func NewClock() *Clock {
+	return &Clock{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Proc is the handle a process uses to interact with virtual time. It is
+// only valid inside the function passed to Go, on that goroutine.
+type Proc struct {
+	c    *Clock
+	name string
+	wake chan struct{}
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.c.now }
+
+// Go registers fn as a process starting at the current virtual time.
+// Must be called before Run (or from a running process).
+func (c *Clock) Go(name string, fn func(p *Proc)) {
+	p := &Proc{c: c, name: name, wake: make(chan struct{})}
+	c.live++
+	go func() {
+		<-p.wake // wait for the scheduler's first hand-off
+		fn(p)
+		c.live--
+		c.yielded <- struct{}{} // return the run token for good
+	}()
+	c.at(c.now, func(float64) { c.resume(p) })
+}
+
+// at schedules fn on the raw event heap.
+func (c *Clock) at(t float64, fn func(now float64)) {
+	if t < c.now {
+		t = c.now
+	}
+	c.seq++
+	heap.Push(&c.heap, event{at: t, seq: c.seq, fn: fn})
+}
+
+// resume hands the run token to p and waits for it to yield or exit.
+// Called only from the scheduler loop (inside an event fn).
+func (c *Clock) resume(p *Proc) {
+	p.wake <- struct{}{}
+	<-c.yielded
+}
+
+// park gives the run token back to the scheduler and waits to be resumed.
+// Called only from a process goroutine.
+func (p *Proc) park() {
+	p.c.yielded <- struct{}{}
+	<-p.wake
+}
+
+// Sleep suspends the process for d seconds of virtual time.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.SleepUntil(p.c.now + d)
+}
+
+// SleepUntil suspends the process until absolute virtual time t.
+func (p *Proc) SleepUntil(t float64) {
+	p.c.at(t, func(float64) { p.c.resume(p) })
+	p.park()
+}
+
+// Run drives the clock until every process has exited and the event queue
+// is drained, returning the final virtual time. It panics on deadlock —
+// processes still blocked with no event that could ever wake them.
+func (c *Clock) Run() float64 {
+	for c.heap.Len() > 0 {
+		ev := heap.Pop(&c.heap).(event)
+		c.now = ev.at
+		ev.fn(c.now)
+	}
+	if c.live > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked at t=%.3f with no pending events", c.live, c.now))
+	}
+	return c.now
+}
+
+// Queue is a FIFO channel between processes in virtual time. Pop blocks
+// the calling process until an item arrives or the queue is closed;
+// blocked consumers are woken in FIFO order, so admission is fair and
+// deterministic.
+type Queue[T any] struct {
+	c       *Clock
+	items   []T
+	waiters []*Proc
+	closed  bool
+}
+
+// NewQueue makes an empty open queue on c.
+func NewQueue[T any](c *Clock) *Queue[T] {
+	return &Queue[T]{c: c}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push appends v and wakes the longest-waiting consumer, if any.
+func (q *Queue[T]) Push(v T) {
+	if q.closed {
+		panic("sim: push on closed queue")
+	}
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+// Close marks the queue finished: blocked and future Pops return ok=false
+// once the items drain.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	for len(q.waiters) > 0 {
+		q.wakeOne()
+	}
+}
+
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	p := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.c.at(q.c.now, func(float64) { q.c.resume(p) })
+}
+
+// TryPop returns the head item without blocking (ok=false when empty).
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the process until an item is available, returning ok=false
+// only once the queue is closed and drained.
+func (q *Queue[T]) Pop(p *Proc) (T, bool) {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.waiters = append(q.waiters, p)
+		p.park()
+	}
+}

@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goTool runs the go command from the repository root and returns its
+// combined output.
+func goTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s failed: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+// TestBuildAllMains builds every main package under cmd/ and examples/,
+// so binaries can't silently rot while only library tests run.
+func TestBuildAllMains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	goTool(t, "build", "-o", dir+string(filepath.Separator), "./cmd/...", "./examples/...")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 { // 3 cmds + 6 examples at the time of writing
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("expected at least 8 binaries, built %d: %v", len(entries), names)
+	}
+}
+
+// TestExamplesRunEndToEnd executes the quickstart and rag_pipeline
+// examples and checks for their expected output shape.
+func TestExamplesRunEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		pkg  string
+		want []string
+	}{
+		{"./examples/quickstart", []string{"question:", "answer:"}},
+		{"./examples/rag_pipeline", []string{"scheme", "cacheblend", "full-recompute"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(filepath.Base(c.pkg), func(t *testing.T) {
+			t.Parallel()
+			out := goTool(t, "run", c.pkg)
+			for _, w := range c.want {
+				if !strings.Contains(out, w) {
+					t.Fatalf("%s output missing %q:\n%s", c.pkg, w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestServeCLISmoke drives the serving CLI end to end with the new
+// replica/batching flags.
+func TestServeCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	out := goTool(t, "run", "./cmd/cacheblend-serve",
+		"-replicas", "2", "-batch", "4", "-n", "200", "-rates", "1", "-v")
+	for _, w := range []string{"replicas=2", "mean_ttft", "replica-util="} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("serve CLI output missing %q:\n%s", w, out)
+		}
+	}
+}
