@@ -254,6 +254,48 @@ func BenchmarkServeReplicas(b *testing.B) {
 	}
 }
 
+// BenchmarkServeTiered compares KV placement hierarchies at a fixed load
+// and equal total capacity, reporting mean TTFT — the tiered-placement
+// counterpart of BenchmarkServeReplicas.
+func BenchmarkServeTiered(b *testing.B) {
+	spec := timing.Mistral7B
+	total := int64(250) * spec.KVBytes(512)
+	stacks := []struct {
+		name  string
+		tiers []serve.TierConfig
+	}{
+		{"nvme-only", []serve.TierConfig{
+			{Device: device.NVMeSSD, Capacity: total},
+		}},
+		{"ram+nvme", []serve.TierConfig{
+			{Device: device.CPURAM, Capacity: total / 4},
+			{Device: device.NVMeSSD, Capacity: total - total/4},
+		}},
+		{"hbm+ram+nvme", []serve.TierConfig{
+			{Device: device.GPUHBM, Capacity: total / 8},
+			{Device: device.CPURAM, Capacity: total / 4},
+			{Device: device.NVMeSSD, Capacity: total - total/8 - total/4},
+		}},
+	}
+	for _, stack := range stacks {
+		stack := stack
+		b.Run(stack.name, func(b *testing.B) {
+			cfg := serve.Config{
+				Spec: spec, Scheme: baselines.CacheBlend, Ratio: 0.15,
+				Device: device.NVMeSSD, Tiers: stack.tiers,
+				ChunkPool: 500, ChunksPerRequest: 6, ChunkTokens: 512,
+				QueryTokens: 32, Skew: 0.9,
+			}
+			var ttft float64
+			for i := 0; i < b.N; i++ {
+				res := serve.Run(cfg, 0.5, 400, 100, 42)
+				ttft = res.MeanTTFT
+			}
+			b.ReportMetric(ttft*1000, "ttft-ms")
+		})
+	}
+}
+
 // ---- Ablation benches (DESIGN.md design-choice list) ---------------------
 
 func BenchmarkAblationGradualFilterOn(b *testing.B) {

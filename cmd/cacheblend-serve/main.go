@@ -7,6 +7,7 @@
 //	cacheblend-serve -model Mistral-7B -scheme cacheblend -rates 0.2,0.5,1,2
 //	cacheblend-serve -model Yi-34B -scheme prefix-caching -capacity 64
 //	cacheblend-serve -replicas 4 -batch 8 -shards 16
+//	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:64,nvme-ssd:0 -v
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		devName   = flag.String("device", "nvme-ssd", "KV storage device")
 		ratio     = flag.Float64("ratio", 0.15, "CacheBlend recompute ratio")
 		capacity  = flag.Int("capacity", 0, "store capacity in contexts (0 = unbounded)")
+		tiersSpec = flag.String("tiers", "", "tiered KV placement as device:contexts pairs, fastest first, e.g. gpu-hbm:8,cpu-ram:64,nvme-ssd:0 (0 = unbounded, bottom only); overrides -device/-capacity")
 		pool      = flag.Int("pool", 1500, "distinct chunks in the corpus")
 		chunks    = flag.Int("chunks", 6, "chunks per request")
 		chunkTok  = flag.Int("chunk-tokens", 512, "tokens per chunk")
@@ -68,6 +70,13 @@ func main() {
 	if *capacity > 0 {
 		cfg.StoreCapacity = int64(*capacity) * spec.KVBytes(*chunks**chunkTok)
 	}
+	if *tiersSpec != "" {
+		tiers, err := parseTiers(*tiersSpec, spec.KVBytes(*chunks**chunkTok))
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Tiers = tiers
+	}
 
 	var rates []float64
 	if *ratesCSV == "" {
@@ -83,15 +92,51 @@ func main() {
 		}
 	}
 
-	fmt.Printf("model=%s scheme=%s device=%s pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
-		spec.Name, cfg.Scheme, dev.Name, *pool, *chunks, *chunkTok, *replicas, *batch)
+	placement := dev.Name
+	if len(cfg.Tiers) > 0 {
+		placement = *tiersSpec
+	}
+	fmt.Printf("model=%s scheme=%s placement=%s pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
+		spec.Name, cfg.Scheme, placement, *pool, *chunks, *chunkTok, *replicas, *batch)
 	for _, res := range serve.RateSweep(cfg, rates, *n, *n/3, *seed) {
 		fmt.Println(res)
 		if *verbose {
 			fmt.Printf("  replica-util=%s batch-sizes=%s\n",
 				fmtUtils(res.ReplicaUtil), metrics.FormatCounts(res.BatchSizes))
+			for _, tu := range res.Tiers {
+				fmt.Printf("  tier %-12s hits=%d (%.0f%%) promotions=%d demotions=%d resident=%.1fGB\n",
+					tu.Device, tu.Hits, tu.HitRate*100, tu.Promotions, tu.Demotions,
+					float64(tu.BytesResident)/1e9)
+			}
 		}
 	}
+}
+
+// parseTiers turns "gpu-hbm:8,cpu-ram:64,nvme-ssd:0" into tier configs,
+// with capacities counted in contexts of ctxBytes (0 = unbounded).
+func parseTiers(s string, ctxBytes int64) ([]serve.TierConfig, error) {
+	var tiers []serve.TierConfig
+	for _, part := range strings.Split(s, ",") {
+		name, contexts, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad tier %q: want device:contexts", part)
+		}
+		dev, err := device.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		nCtx, err := strconv.Atoi(strings.TrimSpace(contexts))
+		if err != nil || nCtx < 0 {
+			return nil, fmt.Errorf("bad tier capacity %q: want a context count ≥ 0", contexts)
+		}
+		tiers = append(tiers, serve.TierConfig{Device: dev, Capacity: int64(nCtx) * ctxBytes})
+	}
+	for i, tc := range tiers[:len(tiers)-1] {
+		if tc.Capacity == 0 {
+			return nil, fmt.Errorf("tier %d (%s): capacity 0 (unbounded) is only allowed on the bottom tier", i, tc.Device.Name)
+		}
+	}
+	return tiers, nil
 }
 
 func fmtUtils(utils []float64) string {

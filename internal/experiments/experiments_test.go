@@ -170,6 +170,28 @@ func TestFig12SmallRun(t *testing.T) {
 	}
 }
 
+func TestFig17TieredShape(t *testing.T) {
+	tab := Fig17Tiered(600)
+	if len(tab.Rows) != 3*3 {
+		t.Fatalf("want 9 rows (3 splits × 3 rates), got %d", len(tab.Rows))
+	}
+	// Acceptance: at every rate, the HBM+RAM+NVMe stack must beat
+	// NVMe-only mean TTFT at equal total capacity.
+	ttft := map[string]map[string]float64{}
+	for i, row := range tab.Rows {
+		if ttft[row[0]] == nil {
+			ttft[row[0]] = map[string]float64{}
+		}
+		ttft[row[0]][row[1]] = num(t, cell(t, tab, i, "mean-ttft(s)"))
+	}
+	for rate, flat := range ttft["nvme-only"] {
+		deep := ttft["hbm+ram+nvme"][rate]
+		if deep >= flat {
+			t.Fatalf("rate %s: hbm+ram+nvme TTFT %.4f not below nvme-only %.4f", rate, deep, flat)
+		}
+	}
+}
+
 func TestFig14ScalingShape(t *testing.T) {
 	tab := Fig14Scaling(400)
 	if len(tab.Rows) != 3*4 {

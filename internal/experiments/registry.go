@@ -44,8 +44,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{Fig15()} }},
 		{"16", "quality vs TTFT across recompute ratios",
 			func(o RunOpts) []*Table { return []*Table{Fig16(o.MaxCases)} }},
-		{"17", "storage-device sensitivity (RAM vs slow disk)",
-			func(o RunOpts) []*Table { return []*Table{Fig17(o.MaxCases)} }},
+		{"17", "storage-device sensitivity (RAM vs slow disk) + tiered KV placement sweep",
+			func(o RunOpts) []*Table { return []*Table{Fig17(o.MaxCases), Fig17Tiered(o.Requests)} }},
 	}
 }
 

@@ -70,6 +70,7 @@ type Store struct {
 	order    *list.List // front = most recently used
 	index    map[chunk.ID]*list.Element
 	stats    Stats
+	onEvict  func(chunk.ID, Sized)
 
 	writeCh chan writeReq
 	wg      sync.WaitGroup
@@ -121,6 +122,20 @@ func (s *Store) Close() {
 // Device returns the store's backing device.
 func (s *Store) Device() device.Device { return s.dev }
 
+// Capacity returns the store's byte budget (≤ 0 = unbounded).
+func (s *Store) Capacity() int64 { return s.capacity }
+
+// SetEvictHandler registers fn to receive entries evicted under capacity
+// pressure instead of dropping them silently — the hook the tiered store
+// uses to demote victims to the next tier. fn runs on the evicting
+// goroutine with the store lock released, so it may insert into other
+// stores (or even back into this one). Set it before sharing the store.
+func (s *Store) SetEvictHandler(fn func(chunk.ID, Sized)) {
+	s.mu.Lock()
+	s.onEvict = fn
+	s.mu.Unlock()
+}
+
 // Get returns the payload for id if present, marking a hit and refreshing
 // recency; otherwise it records a miss.
 func (s *Store) Get(id chunk.ID) (Sized, bool) {
@@ -151,8 +166,8 @@ func (s *Store) Contains(id chunk.ID) bool {
 func (s *Store) Put(id chunk.ID, payload Sized) error {
 	n := payload.SizeBytes()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.capacity > 0 && n > s.capacity {
+		s.mu.Unlock()
 		return fmt.Errorf("kvstore: payload %d bytes exceeds capacity %d", n, s.capacity)
 	}
 	if el, ok := s.index[id]; ok {
@@ -164,16 +179,38 @@ func (s *Store) Put(id chunk.ID, payload Sized) error {
 		if s.policy == LRU {
 			s.order.MoveToFront(el)
 		}
-		s.evictLocked()
-		return nil
+	} else {
+		s.stats.Puts++
+		e := &entry{id: id, payload: payload, bytes: n}
+		s.index[id] = s.order.PushFront(e)
+		s.used += n
 	}
-	s.stats.Puts++
-	e := &entry{id: id, payload: payload, bytes: n}
-	s.index[id] = s.order.PushFront(e)
-	s.used += n
-	s.evictLocked()
+	victims := s.evictLocked()
 	s.stats.BytesStored = s.used
+	onEvict := s.onEvict
+	s.mu.Unlock()
+	for _, v := range victims {
+		onEvict(v.id, v.payload)
+	}
 	return nil
+}
+
+// Remove deletes id and returns its payload. It touches neither hit/miss
+// nor eviction counters — the tiered store uses it to move entries
+// between tiers without distorting placement statistics.
+func (s *Store) Remove(id chunk.ID) (Sized, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[id]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	s.order.Remove(el)
+	delete(s.index, id)
+	s.used -= e.bytes
+	s.stats.BytesStored = s.used
+	return e.payload, true
 }
 
 // PutAsync queues the write for the background writer (fire and forget),
@@ -190,23 +227,29 @@ func (s *Store) PutAsync(id chunk.ID, payload Sized) {
 	s.writeCh <- writeReq{id: id, payload: payload}
 }
 
-// evictLocked evicts from the back until within capacity.
-func (s *Store) evictLocked() {
+// evictLocked evicts from the back until within capacity, returning the
+// victims when an evict handler is registered (nil otherwise). The caller
+// must invoke the handler after releasing the lock.
+func (s *Store) evictLocked() []*entry {
 	if s.capacity <= 0 {
-		return
+		return nil
 	}
+	var victims []*entry
 	for s.used > s.capacity {
 		back := s.order.Back()
 		if back == nil {
-			return
+			break
 		}
 		e := back.Value.(*entry)
 		s.order.Remove(back)
 		delete(s.index, e.id)
 		s.used -= e.bytes
 		s.stats.Evictions++
+		if s.onEvict != nil {
+			victims = append(victims, e)
+		}
 	}
-	s.stats.BytesStored = s.used
+	return victims
 }
 
 // Used returns the current stored bytes.

@@ -166,6 +166,68 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 }
 
+func TestPutReplaceUpdatesBytesStored(t *testing.T) {
+	// Regression: the replace path used to return before refreshing
+	// Stats.BytesStored, and evictLocked bails out early on unbounded
+	// stores — so the counter stayed stale. Stats() masks the field by
+	// re-deriving it, so assert on the raw counter.
+	s := newTest(0, LRU) // unbounded: eviction never runs
+	defer s.Close()
+	s.Put(id(1), Bytes(100))
+	s.Put(id(1), Bytes(250))
+	s.mu.Lock()
+	got := s.stats.BytesStored
+	s.mu.Unlock()
+	if got != 250 {
+		t.Fatalf("BytesStored=%d after unbounded replace, want 250", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	s := newTest(0, LRU)
+	defer s.Close()
+	s.Put(id(1), Bytes(40))
+	s.Put(id(2), Bytes(60))
+	p, ok := s.Remove(id(1))
+	if !ok || p.SizeBytes() != 40 {
+		t.Fatalf("Remove returned %v,%v want 40,true", p, ok)
+	}
+	if s.Contains(id(1)) || s.Len() != 1 || s.Used() != 60 {
+		t.Fatalf("store inconsistent after Remove: len=%d used=%d", s.Len(), s.Used())
+	}
+	if _, ok := s.Remove(id(99)); ok {
+		t.Fatal("Remove of absent id must report false")
+	}
+	st := s.Stats()
+	if st.Evictions != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Remove must not touch hit/miss/eviction counters: %+v", st)
+	}
+}
+
+func TestEvictHandlerReceivesVictims(t *testing.T) {
+	s := newTest(250, LRU)
+	defer s.Close()
+	var evicted []chunk.ID
+	s.SetEvictHandler(func(id chunk.ID, p Sized) {
+		if p.SizeBytes() != 100 {
+			t.Fatalf("victim payload %d bytes, want 100", p.SizeBytes())
+		}
+		evicted = append(evicted, id)
+	})
+	for i := 1; i <= 4; i++ {
+		if err := s.Put(id(i), Bytes(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Capacity 250 holds 2 entries: ids 1 then 2 fall off the back.
+	if len(evicted) != 2 || evicted[0] != id(1) || evicted[1] != id(2) {
+		t.Fatalf("evict handler saw %v, want [id(1) id(2)]", evicted)
+	}
+	if s.Stats().Evictions != 2 {
+		t.Fatalf("evictions=%d want 2", s.Stats().Evictions)
+	}
+}
+
 func TestStatsBytesStored(t *testing.T) {
 	s := newTest(0, LRU)
 	defer s.Close()

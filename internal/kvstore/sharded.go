@@ -21,19 +21,24 @@ type Sharded struct {
 
 // NewSharded creates a store of n shards on dev with the total capacity
 // split evenly (capacity ≤ 0 means unbounded; n ≤ 0 means one shard).
+// Shard 0 absorbs the capacity-division remainder so the shard budgets
+// sum to exactly capacity (each shard still gets at least 1 byte).
 func NewSharded(dev device.Device, capacity int64, policy Policy, n int) *Sharded {
 	if n <= 0 {
 		n = 1
 	}
-	per := int64(0)
-	if capacity > 0 {
-		per = capacity / int64(n)
-		if per <= 0 {
-			per = 1
-		}
-	}
 	s := &Sharded{shards: make([]*Store, n)}
 	for i := range s.shards {
+		per := int64(0)
+		if capacity > 0 {
+			per = capacity / int64(n)
+			if i == 0 {
+				per += capacity % int64(n)
+			}
+			if per <= 0 {
+				per = 1
+			}
+		}
 		s.shards[i] = New(dev, per, policy)
 	}
 	return s
@@ -50,6 +55,29 @@ func (s *Sharded) Shards() int { return len(s.shards) }
 
 // Device returns the backing device (shared by all shards).
 func (s *Sharded) Device() device.Device { return s.shards[0].Device() }
+
+// Capacity returns the summed shard byte budgets (0 = unbounded).
+func (s *Sharded) Capacity() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		if sh.Capacity() <= 0 {
+			return 0
+		}
+		n += sh.Capacity()
+	}
+	return n
+}
+
+// SetEvictHandler registers fn on every shard; see Store.SetEvictHandler.
+func (s *Sharded) SetEvictHandler(fn func(chunk.ID, Sized)) {
+	for _, sh := range s.shards {
+		sh.SetEvictHandler(fn)
+	}
+}
+
+// Remove deletes id from its shard without touching hit/miss/eviction
+// counters, returning the payload if present.
+func (s *Sharded) Remove(id chunk.ID) (Sized, bool) { return s.shard(id).Remove(id) }
 
 // Get looks id up in its shard.
 func (s *Sharded) Get(id chunk.ID) (Sized, bool) { return s.shard(id).Get(id) }

@@ -60,6 +60,36 @@ func TestShardedSpreadsAcrossShards(t *testing.T) {
 	}
 }
 
+func TestShardedCapacitySumsToBudget(t *testing.T) {
+	// Regression: capacity/n used to drop the remainder, silently
+	// shrinking the budget by up to n-1 bytes. Shard 0 absorbs it now.
+	for _, tc := range []struct {
+		capacity int64
+		n        int
+	}{
+		{103, 4}, {1<<20 + 13, 7}, {17, 3}, {64, 8}, {5, 5},
+	} {
+		s := NewSharded(device.NVMeSSD, tc.capacity, LRU, tc.n)
+		var sum int64
+		for _, sh := range s.shards {
+			sum += sh.Capacity()
+		}
+		if sum != tc.capacity {
+			t.Errorf("capacity=%d n=%d: shard budgets sum to %d", tc.capacity, tc.n, sum)
+		}
+		if got := s.Capacity(); got != tc.capacity {
+			t.Errorf("capacity=%d n=%d: Capacity()=%d", tc.capacity, tc.n, got)
+		}
+		s.Close()
+	}
+	// Unbounded stays unbounded.
+	u := NewSharded(device.NVMeSSD, 0, LRU, 4)
+	defer u.Close()
+	if u.Capacity() != 0 {
+		t.Fatalf("unbounded Capacity()=%d want 0", u.Capacity())
+	}
+}
+
 func TestShardedCapacityEvicts(t *testing.T) {
 	// 4 shards × 25 bytes each; inserting 200 one-byte entries must evict
 	// within shards and never exceed the total budget.

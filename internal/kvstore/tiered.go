@@ -1,0 +1,273 @@
+// Tiered store: CacheBlend's loading controller (§5.1) picks *where* a KV
+// cache lives so loading delay hides selective recompute. Tiered realises
+// the placement side of that decision as a stack of per-tier Sharded
+// stores — e.g. GPU-HBM → CPU-RAM → NVMe — searched top-down on Get. Hits
+// on a lower tier promote the chunk to the top (it is hot); capacity
+// pressure on a tier demotes its LRU victims to the next tier down via
+// the Store evict handler instead of dropping them; entries leave the
+// hierarchy only off the bottom tier. The result approximates one global
+// LRU over the summed capacity while keeping hot chunks on fast devices.
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/chunk"
+	"repro/internal/device"
+)
+
+// Tier configures one level of a Tiered store, fastest first.
+type Tier struct {
+	// Device is the tier's storage device (drives ReadTime charging).
+	Device device.Device
+	// Capacity is the tier's byte budget; 0 = unbounded (sensible only
+	// for the bottom tier).
+	Capacity int64
+	// Shards splits the tier into independently locked shards (0 = 1).
+	Shards int
+}
+
+// TierStats is one tier's placement telemetry.
+type TierStats struct {
+	// Device names the tier.
+	Device string
+	// Capacity is the configured byte budget (0 = unbounded).
+	Capacity int64
+	// Hits counts lookups served from this tier.
+	Hits int64
+	// Promotions counts chunks moved from this tier up to the top on hit.
+	Promotions int64
+	// Demotions counts LRU victims pushed from this tier to the next.
+	Demotions int64
+	// Evictions counts entries dropped from the hierarchy at this tier:
+	// LRU victims of the bottom tier, plus the rare demotion a lower tier
+	// could not absorb.
+	Evictions int64
+	// BytesResident is the tier's current footprint.
+	BytesResident int64
+}
+
+// Tiered is a multi-tier KV store. It is safe for concurrent use: one
+// structural mutex serialises Get/Put so a chunk lives on at most one
+// tier at any observable moment (the serving runtime's virtual clock
+// serialises access anyway; the mutex makes the invariant hold for real
+// concurrent callers too).
+type Tiered struct {
+	mu     sync.Mutex
+	tiers  []*Sharded
+	cfg    []Tier
+	hits   []int64 // lookups served per tier
+	promos []int64 // promotions out of each tier
+	demos  []int64 // demotions out of each tier
+	drops  []int64 // demotions the next tier rejected (oversize payload)
+	misses int64
+	puts   int64
+}
+
+// NewTiered builds a tier stack, fastest tier first. Every tier above the
+// bottom must be capacity-bounded (an unbounded upper tier would never
+// demote, starving the tiers below it).
+func NewTiered(tiers []Tier, policy Policy) (*Tiered, error) {
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("kvstore: tiered store needs at least one tier")
+	}
+	t := &Tiered{
+		tiers:  make([]*Sharded, len(tiers)),
+		cfg:    append([]Tier(nil), tiers...),
+		hits:   make([]int64, len(tiers)),
+		promos: make([]int64, len(tiers)),
+		demos:  make([]int64, len(tiers)),
+		drops:  make([]int64, len(tiers)),
+	}
+	for i, tc := range tiers {
+		if err := tc.Device.Validate(); err != nil {
+			return nil, err
+		}
+		if tc.Capacity <= 0 && i < len(tiers)-1 {
+			return nil, fmt.Errorf("kvstore: tier %d (%s) above the bottom must be bounded", i, tc.Device.Name)
+		}
+		n := tc.Shards
+		if n <= 0 {
+			n = 1
+		}
+		t.tiers[i] = NewSharded(tc.Device, tc.Capacity, policy, n)
+	}
+	// Demotion cascade: tier i's LRU victims land on tier i+1 (which may
+	// evict in turn, recursing at most len(tiers)-1 deep). The bottom
+	// tier keeps the default drop-on-evict. Handlers run with the store
+	// lock released but under t.mu, held by the public entry points.
+	for i := 0; i < len(t.tiers)-1; i++ {
+		i, next := i, t.tiers[i+1]
+		t.tiers[i].SetEvictHandler(func(id chunk.ID, payload Sized) {
+			if err := next.Put(id, payload); err != nil {
+				t.drops[i]++ // next tier's shard cannot hold it: drop
+				return
+			}
+			t.demos[i]++
+		})
+	}
+	return t, nil
+}
+
+// MustTiered is NewTiered for static configurations known to be valid.
+func MustTiered(tiers []Tier, policy Policy) *Tiered {
+	t, err := NewTiered(tiers, policy)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Depth returns the number of tiers.
+func (t *Tiered) Depth() int { return len(t.tiers) }
+
+// TierDevice returns tier i's device.
+func (t *Tiered) TierDevice(i int) device.Device { return t.cfg[i].Device }
+
+// Get searches the tiers top-down. On a hit it returns the payload and
+// the tier index it was found on (the tier whose loading delay the
+// caller should charge), then promotes the chunk to the top tier — the
+// promotion may cascade demotions downward. A chunk the top tier cannot
+// hold stays where it is.
+func (t *Tiered) Get(id chunk.ID) (Sized, int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, tier := range t.tiers {
+		payload, ok := tier.Get(id)
+		if !ok {
+			continue
+		}
+		t.hits[i]++
+		if i > 0 {
+			// Remove before re-inserting at the top: the promotion's
+			// demotion cascade could otherwise push another chunk into
+			// tier i and evict this one to i+1, leaving it on two tiers.
+			tier.Remove(id)
+			if err := t.tiers[0].Put(id, payload); err != nil {
+				// Top tier can never hold it: put it back where it was.
+				tier.Put(id, payload) //nolint:errcheck // it fit before
+			} else {
+				t.promos[i]++
+			}
+		}
+		return payload, i, true
+	}
+	t.misses++
+	return nil, -1, false
+}
+
+// Contains reports presence on any tier without touching recency, stats
+// or placement.
+func (t *Tiered) Contains(id chunk.ID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tier := range t.tiers {
+		if tier.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Put inserts or replaces id on the highest tier that accepts it (new
+// chunks are presumed hot). A previous copy on another tier is removed
+// first so the chunk never straddles tiers. If no tier can hold the
+// payload an error is returned.
+func (t *Tiered) Put(id chunk.ID, payload Sized) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tier := range t.tiers {
+		tier.Remove(id)
+	}
+	var err error
+	for _, tier := range t.tiers {
+		if err = tier.Put(id, payload); err == nil {
+			t.puts++
+			return nil
+		}
+	}
+	return fmt.Errorf("kvstore: no tier can hold %d bytes: %w", payload.SizeBytes(), err)
+}
+
+// LoadTime returns the simulated seconds to read id's payload from the
+// tier it currently lives on (0 if absent). It does not count as a Get
+// and does not promote.
+func (t *Tiered) LoadTime(id chunk.ID) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tier := range t.tiers {
+		if lt := tier.LoadTime(id); lt > 0 {
+			return lt
+		}
+	}
+	return 0
+}
+
+// Used returns the total resident bytes across tiers.
+func (t *Tiered) Used() int64 {
+	var n int64
+	for _, tier := range t.tiers {
+		n += tier.Used()
+	}
+	return n
+}
+
+// Len returns the total entry count across tiers.
+func (t *Tiered) Len() int {
+	n := 0
+	for _, tier := range t.tiers {
+		n += tier.Len()
+	}
+	return n
+}
+
+// TierStats snapshots per-tier placement telemetry, top tier first.
+func (t *Tiered) TierStats() []TierStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tierStatsLocked()
+}
+
+func (t *Tiered) tierStatsLocked() []TierStats {
+	out := make([]TierStats, len(t.tiers))
+	for i, tier := range t.tiers {
+		out[i] = TierStats{
+			Device:        t.cfg[i].Device.Name,
+			Capacity:      t.cfg[i].Capacity,
+			Hits:          t.hits[i],
+			Promotions:    t.promos[i],
+			Demotions:     t.demos[i],
+			Evictions:     t.drops[i],
+			BytesResident: tier.Used(),
+		}
+		if i == len(t.tiers)-1 {
+			out[i].Evictions += tier.Stats().Evictions
+		}
+	}
+	return out
+}
+
+// Stats aggregates the hierarchy into the flat Stats shape: hits and
+// misses are whole-hierarchy lookups (per-tier probe noise excluded),
+// evictions count only entries that left the hierarchy. The snapshot is
+// taken under one lock hold, so Hits+Misses always equals the lookup
+// count even with concurrent callers.
+func (t *Tiered) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Stats{Misses: t.misses, Puts: t.puts}
+	for _, s := range t.tierStatsLocked() {
+		st.Hits += s.Hits
+		st.Evictions += s.Evictions
+		st.BytesStored += s.BytesResident
+	}
+	return st
+}
+
+// Close stops every tier's background writers.
+func (t *Tiered) Close() {
+	for _, tier := range t.tiers {
+		tier.Close()
+	}
+}

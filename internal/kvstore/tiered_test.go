@@ -1,0 +1,324 @@
+package kvstore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/chunk"
+	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// threeTiers is the canonical HBM→RAM→NVMe test stack.
+func threeTiers(hbm, ram, nvme int64) []Tier {
+	return []Tier{
+		{Device: device.GPUHBM, Capacity: hbm},
+		{Device: device.CPURAM, Capacity: ram},
+		{Device: device.NVMeSSD, Capacity: nvme},
+	}
+}
+
+// tierOf returns the index of the single tier holding id, or -1 if the
+// chunk is absent — and fails the test if it straddles tiers.
+func tierOf(t *testing.T, ts *Tiered, id chunk.ID) int {
+	t.Helper()
+	found := -1
+	for i, tier := range ts.tiers {
+		if tier.Contains(id) {
+			if found >= 0 {
+				t.Fatalf("chunk %s lives on tiers %d and %d", id, found, i)
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+func TestTieredValidation(t *testing.T) {
+	if _, err := NewTiered(nil, LRU); err == nil {
+		t.Fatal("empty tier stack must be rejected")
+	}
+	// Unbounded upper tier never demotes — reject.
+	if _, err := NewTiered([]Tier{
+		{Device: device.CPURAM, Capacity: 0},
+		{Device: device.NVMeSSD, Capacity: 100},
+	}, LRU); err == nil {
+		t.Fatal("unbounded upper tier must be rejected")
+	}
+	if _, err := NewTiered([]Tier{{Device: device.Device{}, Capacity: 10}}, LRU); err == nil {
+		t.Fatal("invalid device must be rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTiered must panic on a bad stack")
+		}
+	}()
+	MustTiered(nil, LRU)
+}
+
+func TestTieredPutLandsOnTop(t *testing.T) {
+	ts := MustTiered(threeTiers(100, 100, 0), LRU)
+	defer ts.Close()
+	ts.Put(id(1), Bytes(50)) //nolint:errcheck
+	if got := tierOf(t, ts, id(1)); got != 0 {
+		t.Fatalf("fresh chunk on tier %d, want 0", got)
+	}
+	// Oversize for HBM and RAM: lands on the unbounded bottom.
+	ts.Put(id(2), Bytes(500)) //nolint:errcheck
+	if got := tierOf(t, ts, id(2)); got != 2 {
+		t.Fatalf("oversize chunk on tier %d, want 2", got)
+	}
+	if ts.Depth() != 3 || ts.TierDevice(0).Name != "gpu-hbm" {
+		t.Fatal("Depth/TierDevice accessors wrong")
+	}
+}
+
+func TestTieredGetReportsHitTierAndPromotes(t *testing.T) {
+	ts := MustTiered(threeTiers(100, 100, 0), LRU)
+	defer ts.Close()
+	ts.Put(id(1), Bytes(500)) //nolint:errcheck // bottom only
+	payload, tier, ok := ts.Get(id(1))
+	if !ok || tier != 2 || payload.SizeBytes() != 500 {
+		t.Fatalf("Get=(%v,%d,%v), want (500,2,true)", payload, tier, ok)
+	}
+	// Too big to promote: stays at the bottom.
+	if got := tierOf(t, ts, id(1)); got != 2 {
+		t.Fatalf("oversize chunk moved to tier %d", got)
+	}
+	ts.Put(id(2), Bytes(80)) //nolint:errcheck
+	// Push id(2) down by filling the upper tiers.
+	ts.Put(id(3), Bytes(80)) //nolint:errcheck
+	ts.Put(id(4), Bytes(80)) //nolint:errcheck
+	if got := tierOf(t, ts, id(2)); got != 2 {
+		t.Fatalf("id(2) should have been demoted twice, on tier %d", got)
+	}
+	// A hit promotes it back to the top.
+	if _, tier, ok := ts.Get(id(2)); !ok || tier != 2 {
+		t.Fatalf("expected bottom-tier hit, got tier %d ok=%v", tier, ok)
+	}
+	if got := tierOf(t, ts, id(2)); got != 0 {
+		t.Fatalf("id(2) promoted to tier %d, want 0", got)
+	}
+	stats := ts.TierStats()
+	if stats[2].Promotions != 1 {
+		t.Fatalf("tier-2 promotions=%d want 1", stats[2].Promotions)
+	}
+	if stats[0].Demotions == 0 {
+		t.Fatal("filling the top tier must demote")
+	}
+}
+
+func TestTieredDemotionCascadeAndBottomEviction(t *testing.T) {
+	ts := MustTiered(threeTiers(100, 100, 100), LRU)
+	defer ts.Close()
+	for i := 0; i < 12; i++ {
+		if err := ts.Put(id(i), Bytes(50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 12×50 bytes through a 100/100/100 stack: 2 live per tier, 6 evicted
+	// off the bottom.
+	if ts.Len() != 6 || ts.Used() != 300 {
+		t.Fatalf("Len=%d Used=%d, want 6/300", ts.Len(), ts.Used())
+	}
+	stats := ts.TierStats()
+	if stats[0].Evictions != 0 || stats[1].Evictions != 0 {
+		t.Fatalf("upper tiers must never evict: %+v", stats)
+	}
+	if stats[2].Evictions != 6 {
+		t.Fatalf("bottom evictions=%d want 6", stats[2].Evictions)
+	}
+	if stats[0].Demotions != 10 || stats[1].Demotions != 8 {
+		t.Fatalf("demotion cascade wrong: tier0=%d tier1=%d want 10/8", stats[0].Demotions, stats[1].Demotions)
+	}
+	for i := range stats {
+		if stats[i].BytesResident != 100 {
+			t.Fatalf("tier %d resident %d, want 100", i, stats[i].BytesResident)
+		}
+		if stats[i].Capacity != 100 {
+			t.Fatalf("tier %d capacity %d, want 100", i, stats[i].Capacity)
+		}
+	}
+	// The most recent inserts live highest: id(11),id(10) on top.
+	if tierOf(t, ts, id(11)) != 0 || tierOf(t, ts, id(10)) != 0 {
+		t.Fatal("most recent chunks should sit on the top tier")
+	}
+	if tierOf(t, ts, id(0)) != -1 {
+		t.Fatal("oldest chunk should have been evicted entirely")
+	}
+}
+
+func TestTieredStatsAccounting(t *testing.T) {
+	ts := MustTiered(threeTiers(100, 100, 0), LRU)
+	defer ts.Close()
+	lookups := 0
+	for i := 0; i < 20; i++ {
+		key := id(i % 7)
+		if _, _, ok := ts.Get(key); !ok {
+			ts.Put(key, Bytes(30)) //nolint:errcheck
+		}
+		lookups++
+	}
+	st := ts.Stats()
+	if st.Hits+st.Misses != int64(lookups) {
+		t.Fatalf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, lookups)
+	}
+	var tierHits int64
+	for _, s := range ts.TierStats() {
+		tierHits += s.Hits
+	}
+	if tierHits != st.Hits {
+		t.Fatalf("per-tier hits %d != aggregate %d", tierHits, st.Hits)
+	}
+	if st.BytesStored != ts.Used() {
+		t.Fatalf("BytesStored %d != Used %d", st.BytesStored, ts.Used())
+	}
+	if ts.LoadTime(id(0)) <= 0 {
+		t.Fatal("resident chunk must have positive load time")
+	}
+	if ts.LoadTime(id(100)) != 0 {
+		t.Fatal("absent chunk must load in 0")
+	}
+	if !ts.Contains(id(0)) || ts.Contains(id(100)) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestTieredPutReplaceNeverStraddles(t *testing.T) {
+	ts := MustTiered(threeTiers(100, 100, 0), LRU)
+	defer ts.Close()
+	ts.Put(id(1), Bytes(500)) //nolint:errcheck // bottom
+	ts.Put(id(1), Bytes(40))  //nolint:errcheck // now fits on top
+	if got := tierOf(t, ts, id(1)); got != 0 {
+		t.Fatalf("replaced chunk on tier %d, want 0 (and exactly one tier)", got)
+	}
+	if ts.Len() != 1 || ts.Used() != 40 {
+		t.Fatalf("Len=%d Used=%d after replace, want 1/40", ts.Len(), ts.Used())
+	}
+	// No tier can hold a 1e9 payload when all are bounded.
+	bounded := MustTiered(threeTiers(50, 50, 50), LRU)
+	defer bounded.Close()
+	if err := bounded.Put(id(2), Bytes(1000)); err == nil {
+		t.Fatal("payload exceeding every tier must be rejected")
+	}
+}
+
+// FuzzTieredGetPut drives a tier stack with an arbitrary op tape and
+// asserts the structural invariants after every op: a chunk lives on at
+// most one tier, no bounded tier exceeds its budget, promotions and
+// demotions conserve entries (an id is resident iff it was inserted and
+// never evicted off the bottom), and hit/miss accounting matches the
+// lookup count.
+func FuzzTieredGetPut(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x80, 0x17})
+	f.Add([]byte("put-get-put-get-evict"))
+	f.Add([]byte{0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0xff, 0x00, 0x13, 0x37})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tiers := []Tier{
+			{Device: device.GPUHBM, Capacity: 1 << 8, Shards: 2},
+			{Device: device.CPURAM, Capacity: 1 << 9},
+			{Device: device.NVMeSSD, Capacity: 1 << 10, Shards: 3},
+		}
+		ts := MustTiered(tiers, LRU)
+		defer ts.Close()
+		live := map[chunk.ID]bool{} // model: inserted and not yet bottom-evicted
+		var lookups, hits int64
+		for i := 0; i+1 < len(ops); i += 2 {
+			key := id(int(ops[i]) % 37)
+			switch op, arg := ops[i]>>6, ops[i+1]; op {
+			case 0, 1: // Put with a size that always fits somewhere
+				size := int64(arg)%200 + 1
+				if err := ts.Put(key, Bytes(size)); err != nil {
+					t.Fatalf("Put(%d bytes) failed: %v", size, err)
+				}
+				live[key] = true
+			case 2: // Get
+				lookups++
+				if _, tier, ok := ts.Get(key); ok {
+					hits++
+					if tier < 0 || tier >= len(tiers) {
+						t.Fatalf("hit tier %d out of range", tier)
+					}
+					if !live[key] {
+						t.Fatalf("hit on %s which was never inserted", key)
+					}
+				}
+			default: // passive probes
+				ts.Contains(key)
+				ts.LoadTime(key)
+				ts.Used()
+			}
+			// Invariants after every op.
+			for ti, tier := range ts.tiers {
+				if cap := tiers[ti].Capacity; cap > 0 && tier.Used() > cap {
+					t.Fatalf("tier %d used %d exceeds capacity %d", ti, tier.Used(), cap)
+				}
+			}
+			total := 0
+			for key := range live {
+				switch on := tierOf(t, ts, key); {
+				case on >= 0:
+					total++
+				default:
+					delete(live, key) // evicted off the bottom
+				}
+			}
+			if total != ts.Len() {
+				t.Fatalf("entry conservation broken: %d resident ids but Len=%d", total, ts.Len())
+			}
+		}
+		st := ts.Stats()
+		if st.Hits != hits || st.Hits+st.Misses != lookups {
+			t.Fatalf("accounting: store hits=%d misses=%d, test saw hits=%d lookups=%d",
+				st.Hits, st.Misses, hits, lookups)
+		}
+	})
+}
+
+// TestTieredRaceStress hammers one tier stack from many real goroutines —
+// go test -race is the assertion; the final checks confirm the capacity
+// and single-residence invariants survived.
+func TestTieredRaceStress(t *testing.T) {
+	tiers := threeTiers(16<<10, 32<<10, 64<<10)
+	ts := MustTiered(tiers, LRU)
+	defer ts.Close()
+	const workers = 16
+	const opsPer = 1500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g := tensor.NewRNG(int64(w + 1))
+			for i := 0; i < opsPer; i++ {
+				key := chunk.Hash("stress", []int{sim.Zipf(g, 256, 0.9)})
+				switch i % 3 {
+				case 0:
+					ts.Put(key, Bytes(64)) //nolint:errcheck
+				case 1:
+					ts.Get(key)
+				default:
+					ts.Contains(key)
+					ts.Used()
+					ts.Stats()
+					ts.TierStats()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, tier := range ts.tiers {
+		if cap := tiers[i].Capacity; tier.Used() > cap {
+			t.Fatalf("tier %d used %d exceeds capacity %d", i, tier.Used(), cap)
+		}
+	}
+	for i := 0; i < 256; i++ {
+		tierOf(t, ts, chunk.Hash("stress", []int{i})) // fails on straddle
+	}
+	st := ts.Stats()
+	if st.Hits+st.Misses == 0 || st.Puts == 0 {
+		t.Fatalf("no activity recorded: %+v", st)
+	}
+}

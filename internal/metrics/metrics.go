@@ -259,6 +259,15 @@ func FormatCounts(counts map[int]int64) string {
 	return s
 }
 
+// Ratio returns num/den as a float, or 0 when den is 0 — the shared
+// guard for hit-rate style fractions (e.g. per-tier hits over lookups).
+func Ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
 // Utilization returns busy/total, clamped to [0, 1] (0 when total ≤ 0) —
 // the per-replica GPU utilization measure of the serving runtime.
 func Utilization(busy, total float64) float64 {

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden trace-replay results")
+
+// goldenCase is one replayed serving trace: fixed seed, scheme, replica
+// count and placement. The full Result is compared against the
+// checked-in golden, so any drift in the scheduler, the store's
+// eviction/promotion order, or the timing model fails loudly.
+type goldenCase struct {
+	Name     string
+	Scheme   baselines.Scheme
+	Replicas int
+	Tiered   bool
+	Seed     int64
+}
+
+func goldenCases() []goldenCase {
+	var cases []goldenCase
+	for _, scheme := range []baselines.Scheme{baselines.CacheBlend, baselines.PrefixCaching} {
+		for _, replicas := range []int{1, 2, 4} {
+			for _, tiered := range []bool{false, true} {
+				for _, seed := range []int64{1, 7} {
+					name := string(scheme) + "/r" + strconv.Itoa(replicas) + "/"
+					if tiered {
+						name += "tiered"
+					} else {
+						name += "flat"
+					}
+					name += "/seed" + strconv.FormatInt(seed, 10)
+					cases = append(cases, goldenCase{name, scheme, replicas, tiered, seed})
+				}
+			}
+		}
+	}
+	return cases
+}
+
+func (gc goldenCase) config() Config {
+	cfg := Config{
+		Spec:             timing.Mistral7B,
+		Scheme:           gc.Scheme,
+		Ratio:            0.15,
+		Device:           device.NVMeSSD,
+		Replicas:         gc.Replicas,
+		MaxBatch:         3,
+		ChunkPool:        150,
+		ChunksPerRequest: 6,
+		ChunkTokens:      512,
+		QueryTokens:      32,
+		Skew:             0.9,
+	}
+	total := int64(60) * cfg.Spec.KVBytes(cfg.ChunkTokens)
+	if gc.Tiered {
+		cfg.Tiers = []TierConfig{
+			{Device: device.GPUHBM, Capacity: total / 6},
+			{Device: device.CPURAM, Capacity: total / 3},
+			{Device: device.NVMeSSD, Capacity: total - total/6 - total/3},
+		}
+	} else {
+		cfg.StoreCapacity = total
+	}
+	return cfg
+}
+
+// TestGoldenTraceReplay replays fixed serving traces across schemes ×
+// replica counts × tiered/flat placement and compares every Result field
+// against the checked-in goldens. Regenerate intentionally with
+//
+//	go test ./internal/serve -run TestGoldenTraceReplay -update
+//
+// and review the diff: a golden change IS a behaviour change.
+func TestGoldenTraceReplay(t *testing.T) {
+	results := map[string]Result{}
+	for _, gc := range goldenCases() {
+		results[gc.Name] = Run(gc.config(), 0.5, 150, 50, gc.Seed)
+	}
+	path := filepath.Join("testdata", "golden_trace_replay.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cases", path, len(results))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update once): %v", err)
+	}
+	var want map[string]Result
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(results) {
+		t.Fatalf("golden has %d cases, run produced %d — regenerate with -update", len(want), len(results))
+	}
+	for name, got := range results {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no golden entry — regenerate with -update", name)
+			continue
+		}
+		gj, _ := json.Marshal(got)
+		wj, _ := json.Marshal(w)
+		if string(gj) != string(wj) {
+			t.Errorf("%s drifted:\n got %s\nwant %s", name, gj, wj)
+		}
+	}
+}
+
+// TestGoldenReplayDeterministic: two in-process replays of the same trace
+// must agree bit-for-bit — the property the golden file relies on.
+func TestGoldenReplayDeterministic(t *testing.T) {
+	gc := goldenCase{"det", baselines.CacheBlend, 4, true, 3}
+	a, _ := json.Marshal(Run(gc.config(), 0.5, 150, 50, gc.Seed))
+	b, _ := json.Marshal(Run(gc.config(), 0.5, 150, 50, gc.Seed))
+	if string(a) != string(b) {
+		t.Fatalf("replay not deterministic:\n%s\n%s", a, b)
+	}
+}

@@ -38,7 +38,7 @@ type cluster struct {
 	seed       int64
 	clock      *sim.Clock
 	queue      *sim.Queue[request]
-	store      *kvstore.Sharded
+	store      *kvstore.Tiered
 	arrivals   []float64
 	chunkBytes int64
 
@@ -53,6 +53,28 @@ type cluster struct {
 
 func newCluster(cfg Config, rate float64, n, warmup int, seed int64) *cluster {
 	return &cluster{cfg: cfg, rate: rate, n: n, warmup: warmup, seed: seed}
+}
+
+// buildTiers maps the config's storage hierarchy (or its single-device
+// fallback) onto kvstore tiers. Each tier is sharded like the flat store
+// was, but never so finely that a shard can't hold one chunk — a tiny
+// bounded shard would silently reject every Put and serve 0% hits.
+func (c *cluster) buildTiers() []kvstore.Tier {
+	cfgs := c.cfg.tierConfigs()
+	tiers := make([]kvstore.Tier, len(cfgs))
+	for i, tc := range cfgs {
+		shards := c.cfg.shards()
+		if tc.Capacity > 0 {
+			if maxShards := int(tc.Capacity / c.chunkBytes); maxShards < shards {
+				shards = maxShards
+				if shards < 1 {
+					shards = 1
+				}
+			}
+		}
+		tiers[i] = kvstore.Tier{Device: tc.Device, Capacity: tc.Capacity, Shards: shards}
+	}
+	return tiers
 }
 
 // run executes the simulation and aggregates the Result.
@@ -72,18 +94,7 @@ func (c *cluster) run() Result {
 	}
 
 	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
-	// Never shard so finely that a shard can't hold one chunk — a tiny
-	// bounded store would silently reject every Put and serve 0% hits.
-	shards := cfg.shards()
-	if cfg.StoreCapacity > 0 {
-		if maxShards := int(cfg.StoreCapacity / c.chunkBytes); maxShards < shards {
-			shards = maxShards
-			if shards < 1 {
-				shards = 1
-			}
-		}
-	}
-	c.store = kvstore.NewSharded(cfg.Device, cfg.StoreCapacity, kvstore.LRU, shards)
+	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
 	defer c.store.Close()
 
 	c.clock = sim.NewClock()
@@ -121,7 +132,20 @@ func (c *cluster) run() Result {
 	if c.completed > 0 && c.warmup < c.n && c.lastDone > c.arrivals[c.warmup] {
 		res.Throughput = float64(c.completed) / (c.lastDone - c.arrivals[c.warmup])
 	}
-	res.HitRate = c.store.Stats().HitRate()
+	st := c.store.Stats()
+	res.HitRate = st.HitRate()
+	res.Lookups = st.Hits + st.Misses
+	res.Misses = st.Misses
+	for _, ts := range c.store.TierStats() {
+		res.Tiers = append(res.Tiers, TierUsage{
+			Device:        ts.Device,
+			Hits:          ts.Hits,
+			HitRate:       metrics.Ratio(ts.Hits, res.Lookups),
+			Promotions:    ts.Promotions,
+			Demotions:     ts.Demotions,
+			BytesResident: ts.BytesResident,
+		})
+	}
 	if c.depthN > 0 {
 		res.MeanQueueDepth = c.depthSum / float64(c.depthN)
 	}

@@ -19,11 +19,21 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/chunk"
+	"repro/internal/controller"
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/kvstore"
 	"repro/internal/timing"
 )
+
+// TierConfig places one level of the KV storage hierarchy, fastest first.
+type TierConfig struct {
+	// Device is the tier's storage device.
+	Device device.Device
+	// Capacity is the tier's byte budget; 0 = unbounded (bottom tier
+	// only).
+	Capacity int64
+}
 
 // Config describes one serving configuration.
 type Config struct {
@@ -33,12 +43,22 @@ type Config struct {
 	// PrefixCaching, FullKVReuse or CacheBlend; the Map* schemes are
 	// quality baselines, not serving modes).
 	Scheme baselines.Scheme
-	// Ratio is CacheBlend's recompute ratio.
+	// Ratio is CacheBlend's recompute ratio. With Tiers configured it is
+	// the quality floor r* instead: each chunk's ratio is picked by the
+	// loading controller against the tier the chunk was found on, never
+	// below Ratio (§5.1).
 	Ratio float64
 	// Device stores the KV caches.
 	Device device.Device
 	// StoreCapacity bounds the KV store (0 = unbounded).
 	StoreCapacity int64
+	// Tiers places the KV store across a storage hierarchy (e.g. GPU-HBM
+	// → CPU-RAM → NVMe): lookups search top-down, hits promote hot
+	// chunks upward, capacity pressure demotes LRU victims to the next
+	// tier, and only the bottom tier evicts. Each tier is sharded like
+	// the flat store. Empty means one tier on Device with StoreCapacity —
+	// the original single-device runtime.
+	Tiers []TierConfig
 	// StoreShards splits the KV store into independently locked shards
 	// keyed by chunk-ID hash. Each shard gets an equal slice of
 	// StoreCapacity and runs its own LRU. 0 picks a default: 1 shard for
@@ -104,6 +124,18 @@ func (c Config) shards() int {
 	return 8
 }
 
+// tiered reports whether a multi-tier hierarchy is configured.
+func (c Config) tiered() bool { return len(c.Tiers) > 0 }
+
+// tierConfigs returns the effective hierarchy: the configured Tiers, or
+// the single-device fallback built from Device and StoreCapacity.
+func (c Config) tierConfigs() []TierConfig {
+	if c.tiered() {
+		return c.Tiers
+	}
+	return []TierConfig{{Device: c.Device, Capacity: c.StoreCapacity}}
+}
+
 // Result summarises one simulated run.
 type Result struct {
 	Rate       float64 // offered request rate (req/s)
@@ -123,6 +155,27 @@ type Result struct {
 	MeanQueueDepth float64
 	// ReplicaUtil is each replica's busy fraction of the run.
 	ReplicaUtil []float64
+	// Lookups is the total chunk-store lookup count; Misses is how many
+	// missed every tier. Sum of per-tier Hits plus Misses equals Lookups.
+	Lookups, Misses int64
+	// Tiers is the per-tier placement telemetry, fastest tier first (one
+	// entry even for an untiered run).
+	Tiers []TierUsage
+}
+
+// TierUsage is one tier's share of a run's KV placement activity.
+type TierUsage struct {
+	// Device names the tier.
+	Device string
+	// Hits is how many lookups this tier served; HitRate is Hits over
+	// all store lookups (hits and misses across the whole hierarchy).
+	Hits    int64
+	HitRate float64
+	// Promotions counts chunks this tier lost upward on hit; Demotions
+	// counts LRU victims it pushed down a tier.
+	Promotions, Demotions int64
+	// BytesResident is the tier's footprint when the run ended.
+	BytesResident int64
 }
 
 // String renders the result as a table row.
@@ -152,8 +205,10 @@ func Run(cfg Config, rate float64, n, warmup int, seed int64) Result {
 // serviceTime computes one request's prefill service time under the
 // scheme, updating the KV store. It is evaluated when the request is
 // admitted into a replica's batch, against the store's state at that
-// moment.
-func serviceTime(cfg Config, store *kvstore.Sharded, ids []int, chunkBytes int64) float64 {
+// moment. Hits are charged the read time of the tier the chunk was found
+// on; for CacheBlend each tier's reused tokens recompute at the ratio the
+// loading controller picks for that tier's device (§5.1).
+func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64) float64 {
 	L := cfg.ChunksPerRequest*cfg.ChunkTokens + cfg.QueryTokens
 	spec := cfg.Spec
 	switch cfg.Scheme {
@@ -164,7 +219,7 @@ func serviceTime(cfg Config, store *kvstore.Sharded, ids []int, chunkBytes int64
 		// Only a position-0 hit helps (§3.2). Following the paper's
 		// idealised assumption, loading the prefix KV is free.
 		key := prefixKey(cfg, ids[0])
-		_, hit := store.Get(key)
+		_, _, hit := store.Get(key)
 		if !hit {
 			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
 		}
@@ -176,32 +231,54 @@ func serviceTime(cfg Config, store *kvstore.Sharded, ids []int, chunkBytes int64
 
 	case baselines.FullKVReuse, baselines.CacheBlend:
 		hits := 0
-		var loadBytes int64
+		tierChunks := make([]int, store.Depth()) // hit chunks per tier
 		for _, id := range ids {
 			key := chunkKey(cfg, id)
-			if _, ok := store.Get(key); ok {
+			if _, tier, ok := store.Get(key); ok {
 				hits++
-				loadBytes += chunkBytes
+				tierChunks[tier]++
 			} else {
 				store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
 			}
 		}
 		missTokens := (cfg.ChunksPerRequest-hits)*cfg.ChunkTokens + cfg.QueryTokens
 		missCost := spec.Prefill(missTokens)
-		loadCost := cfg.Device.ReadTime(loadBytes)
 		if cfg.Scheme == baselines.FullKVReuse {
+			var loadCost float64
+			for tier, n := range tierChunks {
+				loadCost += store.TierDevice(tier).ReadTime(int64(n) * chunkBytes)
+			}
 			return loadCost + missCost + spec.DecodeSecPerToken
 		}
 		// CacheBlend: selective recompute of the reused tokens, pipelined
-		// with their loading (§5) per the engine's loader/fusor schedule;
-		// missing chunks and the query are full prefill.
-		hitTokens := hits * cfg.ChunkTokens
-		blendCost := pipelineCost(spec, cfg.Ratio, hitTokens, cfg.Device)
+		// with their loading (§5) per the engine's loader/fusor schedule,
+		// tier by tier; missing chunks and the query are full prefill.
+		var blendCost float64
+		for tier, n := range tierChunks {
+			if n == 0 {
+				continue
+			}
+			d := store.TierDevice(tier)
+			tokens := n * cfg.ChunkTokens
+			blendCost += pipelineCost(spec, cfg.chunkRatio(tokens, d), tokens, d)
+		}
 		return blendCost + missCost + spec.DecodeSecPerToken
 
 	default:
 		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))
 	}
+}
+
+// chunkRatio is the recompute ratio for reusing `tokens` of KV resident
+// on d. Untiered runs keep the configured fixed ratio (the paper's
+// single-device setup); tiered runs ask the loading controller for the
+// largest ratio the tier's loading delay hides, floored at cfg.Ratio.
+func (c Config) chunkRatio(tokens int, d device.Device) float64 {
+	if !c.tiered() {
+		return c.Ratio
+	}
+	ctl := controller.Controller{Spec: c.Spec, QualityFloor: c.Ratio}
+	return ctl.PickRatio(tokens, d)
 }
 
 // pipelineCost is the pipelined load+recompute time for reusing hitTokens

@@ -83,3 +83,19 @@ func TestServeCLISmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestServeCLITieredSmoke drives the serving CLI with a three-tier KV
+// placement and checks the per-tier telemetry reaches the output.
+func TestServeCLITieredSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	out := goTool(t, "run", "./cmd/cacheblend-serve",
+		"-tiers", "gpu-hbm:20,cpu-ram:60,nvme-ssd:0", "-n", "200", "-rates", "0.5", "-v")
+	for _, w := range []string{"placement=gpu-hbm:20,cpu-ram:60,nvme-ssd:0",
+		"tier gpu-hbm", "tier cpu-ram", "tier nvme-ssd", "promotions="} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("tiered serve CLI output missing %q:\n%s", w, out)
+		}
+	}
+}
