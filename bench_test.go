@@ -27,6 +27,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/timing"
+	"repro/internal/workload"
 )
 
 // ---- Figure regenerators ------------------------------------------------
@@ -292,6 +293,42 @@ func BenchmarkServeTiered(b *testing.B) {
 				ttft = res.MeanTTFT
 			}
 			b.ReportMetric(ttft*1000, "ttft-ms")
+		})
+	}
+}
+
+// BenchmarkServeWorkloads runs the serving simulation under each arrival
+// generator at equal mean rate, reporting p95 TTFT — the workload
+// counterpart of BenchmarkServeReplicas/BenchmarkServeTiered.
+func BenchmarkServeWorkloads(b *testing.B) {
+	cfg := serve.Config{
+		Spec: timing.Mistral7B, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Device: device.NVMeSSD, ChunkPool: 500, ChunksPerRequest: 6,
+		ChunkTokens: 512, QueryTokens: 32, Skew: 0.8,
+	}
+	chunks := workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew}
+	const rate = 1.0
+	loads := []struct {
+		name string
+		w    workload.Workload
+	}{
+		{"poisson", workload.Poisson{Rate: rate, Chunks: chunks}},
+		{"bursty", workload.Bursty{Rate: rate, Burst: 8, Chunks: chunks}},
+		{"diurnal", workload.Diurnal{Rate: rate, Amplitude: 0.8, Chunks: chunks}},
+		{"tenants3", workload.TenantMix(3, rate, chunks, 100)},
+	}
+	for _, load := range loads {
+		load := load
+		b.Run(load.name, func(b *testing.B) {
+			var p95 float64
+			for i := 0; i < b.N; i++ {
+				res, err := serve.RunWorkload(cfg, load.w, 400, 100, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p95 = res.P95TTFT
+			}
+			b.ReportMetric(p95*1000, "p95-ttft-ms")
 		})
 	}
 }

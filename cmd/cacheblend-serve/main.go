@@ -1,6 +1,7 @@
 // Command cacheblend-serve runs the discrete-event serving simulation for
 // one configuration and prints a TTFT/throughput profile across request
-// rates — an interactive version of the Figure 14 experiment.
+// rates — an interactive version of the Figure 14 experiment, extended
+// with workload generators and trace record/replay.
 //
 // Usage:
 //
@@ -8,6 +9,10 @@
 //	cacheblend-serve -model Yi-34B -scheme prefix-caching -capacity 64
 //	cacheblend-serve -replicas 4 -batch 8 -shards 16
 //	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:64,nvme-ssd:0 -v
+//	cacheblend-serve -workload bursty -burst 8 -rates 1
+//	cacheblend-serve -tenants 3 -rates 1 -v
+//	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
+//	cacheblend-serve -trace run.jsonl     # bit-identical replay
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/timing"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -41,7 +47,14 @@ func main() {
 		shards    = flag.Int("shards", 0, "KV store shards (0 = default)")
 		n         = flag.Int("n", 1500, "requests per rate point")
 		seed      = flag.Int64("seed", 42, "workload seed")
-		verbose   = flag.Bool("v", false, "print per-replica utilization and batch histograms")
+		verbose   = flag.Bool("v", false, "print per-replica utilization, batch histograms and per-tenant stats")
+
+		workloadName = flag.String("workload", "poisson", "arrival generator (poisson, bursty, diurnal)")
+		burst        = flag.Float64("burst", 8, "bursty workload's peak-to-mean rate factor")
+		amplitude    = flag.Float64("amplitude", 0.8, "diurnal workload's relative rate swing in [0,1]")
+		tenants      = flag.Int("tenants", 1, "tenant count: >1 runs a multi-tenant Poisson mix (disjoint corpus slices, fanned-out skew, drifting popularity)")
+		tracePath    = flag.String("trace", "", "replay a recorded JSONL trace instead of generating a workload")
+		recordPath   = flag.String("record", "", "record the generated request stream to a JSONL trace (requires exactly one rate)")
 	)
 	flag.Parse()
 
@@ -78,6 +91,29 @@ func main() {
 		cfg.Tiers = tiers
 	}
 
+	placement := dev.Name
+	if len(cfg.Tiers) > 0 {
+		placement = *tiersSpec
+	}
+
+	// Trace replay: the recorded stream fixes arrivals, tenants and chunk
+	// ids, so rates/workload flags don't apply and the run reproduces the
+	// recording run's Result field for field.
+	if *tracePath != "" {
+		tr, err := workload.LoadFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model=%s scheme=%s placement=%s workload=%s requests=%d replicas=%d batch-cap=%d\n",
+			spec.Name, cfg.Scheme, placement, tr.Name(), len(tr.Reqs), *replicas, *batch)
+		res, err := serve.RunWorkload(cfg, tr, len(tr.Reqs), len(tr.Reqs)/3, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, *verbose)
+		return
+	}
+
 	var rates []float64
 	if *ratesCSV == "" {
 		cap0 := float64(*replicas) / spec.FullPrefillTTFT(*chunks**chunkTok+32)
@@ -91,24 +127,80 @@ func main() {
 			rates = append(rates, r)
 		}
 	}
-
-	placement := dev.Name
-	if len(cfg.Tiers) > 0 {
-		placement = *tiersSpec
+	if *recordPath != "" && len(rates) != 1 {
+		fatal(fmt.Errorf("-record needs exactly one rate, got %d", len(rates)))
 	}
-	fmt.Printf("model=%s scheme=%s placement=%s pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
-		spec.Name, cfg.Scheme, placement, *pool, *chunks, *chunkTok, *replicas, *batch)
-	for _, res := range serve.RateSweep(cfg, rates, *n, *n/3, *seed) {
-		fmt.Println(res)
-		if *verbose {
-			fmt.Printf("  replica-util=%s batch-sizes=%s\n",
-				fmtUtils(res.ReplicaUtil), metrics.FormatCounts(res.BatchSizes))
-			for _, tu := range res.Tiers {
-				fmt.Printf("  tier %-12s hits=%d (%.0f%%) promotions=%d demotions=%d resident=%.1fGB\n",
-					tu.Device, tu.Hits, tu.HitRate*100, tu.Promotions, tu.Demotions,
-					float64(tu.BytesResident)/1e9)
-			}
+
+	fmt.Printf("model=%s scheme=%s placement=%s workload=%s tenants=%d pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
+		spec.Name, cfg.Scheme, placement, *workloadName, *tenants, *pool, *chunks, *chunkTok, *replicas, *batch)
+	for _, rate := range rates {
+		w, err := buildWorkload(*workloadName, rate, *burst, *amplitude, *tenants, cfg)
+		if err != nil {
+			fatal(err)
 		}
+		if *recordPath != "" {
+			// Validate before generating so broken flags fail with the
+			// generator's error instead of an orphaned, half-broken trace.
+			if err := w.Validate(); err != nil {
+				fatal(err)
+			}
+			reqs := w.Generate(*n, *seed)
+			if err := workload.RecordFile(*recordPath, reqs); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("recorded %d requests to %s\n", len(reqs), *recordPath)
+			// Run the recorded stream itself — same Result, no regeneration.
+			w = workload.Trace{Label: w.Name(), Reqs: reqs}
+		}
+		res, err := serve.RunWorkload(cfg, w, *n, *n/3, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, *verbose)
+	}
+}
+
+// buildWorkload constructs the request-stream generator the flags ask
+// for. Multi-tenant mixes are Poisson per tenant (disjoint corpus slices,
+// fanned-out skew, drifting popularity on odd tenants).
+func buildWorkload(name string, rate, burst, amplitude float64, tenants int, cfg serve.Config) (workload.Workload, error) {
+	chunks := workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew}
+	if tenants > 1 {
+		if name != "poisson" {
+			return nil, fmt.Errorf("-tenants %d implies -workload poisson (got %q)", tenants, name)
+		}
+		// Drift period: a few popularity rotations across a typical run.
+		return workload.TenantMix(tenants, rate, chunks, 100/rate), nil
+	}
+	switch name {
+	case "poisson":
+		return workload.Poisson{Rate: rate, Chunks: chunks}, nil
+	case "bursty":
+		return workload.Bursty{Rate: rate, Burst: burst, Chunks: chunks}, nil
+	case "diurnal":
+		return workload.Diurnal{Rate: rate, Amplitude: amplitude, Chunks: chunks}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want poisson, bursty or diurnal)", name)
+	}
+}
+
+// printResult renders one run, with per-tier and per-tenant detail when
+// verbose.
+func printResult(res serve.Result, verbose bool) {
+	fmt.Println(res)
+	if !verbose {
+		return
+	}
+	fmt.Printf("  replica-util=%s batch-sizes=%s\n",
+		fmtUtils(res.ReplicaUtil), metrics.FormatCounts(res.BatchSizes))
+	for _, tu := range res.Tiers {
+		fmt.Printf("  tier %-12s hits=%d (%.0f%%) promotions=%d demotions=%d resident=%.1fGB\n",
+			tu.Device, tu.Hits, tu.HitRate*100, tu.Promotions, tu.Demotions,
+			float64(tu.BytesResident)/1e9)
+	}
+	for _, tu := range res.Tenants {
+		fmt.Printf("  tenant %-3d requests=%d mean_ttft=%.3fs p95=%.3fs hit=%.0f%% lookups=%d\n",
+			tu.Tenant, tu.Requests, tu.MeanTTFT, tu.P95TTFT, tu.HitRate*100, tu.Lookups)
 	}
 }
 

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "figure id to run (2,6,7,8,10,12,13,14,15,16,17 or 'all')")
+		fig      = flag.String("fig", "", "figure id to run (2,6,7,8,10,12,13,14,15,16,17,burst or 'all')")
 		list     = flag.Bool("list", false, "list reproducible figures")
 		cases    = flag.Int("cases", 25, "max dataset cases per quality experiment (0 = preset size)")
 		requests = flag.Int("requests", 1500, "requests per serving-simulation point")

@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -189,6 +189,35 @@ func TestFig17TieredShape(t *testing.T) {
 		if deep >= flat {
 			t.Fatalf("rate %s: hbm+ram+nvme TTFT %.4f not below nvme-only %.4f", rate, deep, flat)
 		}
+	}
+}
+
+// TestBurstSweepShape is the workload-subsystem acceptance check: at
+// equal mean rate, rising burstiness must measurably inflate p95 TTFT for
+// every scheme, and CacheBlend must absorb the heaviest bursts far better
+// than full recompute.
+func TestBurstSweepShape(t *testing.T) {
+	tab := BurstSweep(600)
+	if len(tab.Rows) != 3*3 {
+		t.Fatalf("want 9 rows (3 schemes × 3 workloads), got %d", len(tab.Rows))
+	}
+	p95 := map[string]map[string]float64{}
+	for i, row := range tab.Rows {
+		if p95[row[0]] == nil {
+			p95[row[0]] = map[string]float64{}
+		}
+		p95[row[0]][row[1]] = num(t, cell(t, tab, i, "p95(s)"))
+	}
+	for scheme, byLoad := range p95 {
+		if byLoad["bursty×16"] <= 1.2*byLoad["poisson"] {
+			t.Fatalf("%s: burst×16 p95 %.3f not measurably above poisson %.3f",
+				scheme, byLoad["bursty×16"], byLoad["poisson"])
+		}
+	}
+	blend := p95["cacheblend"]["bursty×16"]
+	full := p95["full-recompute"]["bursty×16"]
+	if blend >= full/2 {
+		t.Fatalf("under heavy bursts cacheblend p95 %.3f should be far below full recompute's %.3f", blend, full)
 	}
 }
 

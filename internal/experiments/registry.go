@@ -46,6 +46,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{Fig16(o.MaxCases)} }},
 		{"17", "storage-device sensitivity (RAM vs slow disk) + tiered KV placement sweep",
 			func(o RunOpts) []*Table { return []*Table{Fig17(o.MaxCases), Fig17Tiered(o.Requests)} }},
+		{"burst", "TTFT vs burstiness at equal mean rate (workload-generator extension)",
+			func(o RunOpts) []*Table { return []*Table{BurstSweep(o.Requests)} }},
 	}
 }
 

@@ -146,6 +146,26 @@ func Mean(x []float64) float64 {
 	return s / float64(len(x))
 }
 
+// CoefVar returns the coefficient of variation (population std/mean) of
+// x, or 0 when x is degenerate. It is the burstiness measure the workload
+// generators are tested against: a Poisson process's inter-arrival gaps
+// have CV ≈ 1, on/off (MMPP) arrivals push it well above.
+func CoefVar(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	if m == 0 {
+		return 0
+	}
+	var v float64
+	for _, s := range x {
+		d := s - m
+		v += d * d
+	}
+	return math.Sqrt(v/float64(len(x))) / m
+}
+
 // Percentile returns the p-th percentile (0..100) using linear
 // interpolation between order statistics.
 func Percentile(x []float64, p float64) float64 {

@@ -228,3 +228,17 @@ func TestUtilization(t *testing.T) {
 		}
 	}
 }
+
+func TestCoefVar(t *testing.T) {
+	if got := CoefVar([]float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("constant sample CV = %v, want 0", got)
+	}
+	// Population std of {1,3} is 1, mean 2 → CV 0.5.
+	if got := CoefVar([]float64{1, 3}); !eq(got, 0.5, 1e-12) {
+		t.Fatalf("CV({1,3}) = %v, want 0.5", got)
+	}
+	// Degenerate inputs: too short or zero mean.
+	if CoefVar(nil) != 0 || CoefVar([]float64{7}) != 0 || CoefVar([]float64{-1, 1}) != 0 {
+		t.Fatal("degenerate inputs must return 0")
+	}
+}

@@ -11,20 +11,27 @@ import (
 	"repro/internal/baselines"
 	"repro/internal/device"
 	"repro/internal/timing"
+	"repro/internal/workload"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden trace-replay results")
 
 // goldenCase is one replayed serving trace: fixed seed, scheme, replica
-// count and placement. The full Result is compared against the
+// count, placement and workload. The full Result is compared against the
 // checked-in golden, so any drift in the scheduler, the store's
-// eviction/promotion order, or the timing model fails loudly.
+// eviction/promotion order, the workload generators, or the timing model
+// fails loudly.
 type goldenCase struct {
 	Name     string
 	Scheme   baselines.Scheme
 	Replicas int
 	Tiered   bool
 	Seed     int64
+	// Workload selects the arrival generator: "" is the legacy Poisson
+	// path through serve.Run (those goldens predate the workload
+	// subsystem and double as its seed-compatibility check), "bursty" and
+	// "multi-tenant" go through RunWorkload.
+	Workload string
 }
 
 func goldenCases() []goldenCase {
@@ -40,12 +47,55 @@ func goldenCases() []goldenCase {
 						name += "flat"
 					}
 					name += "/seed" + strconv.FormatInt(seed, 10)
-					cases = append(cases, goldenCase{name, scheme, replicas, tiered, seed})
+					cases = append(cases, goldenCase{Name: name, Scheme: scheme,
+						Replicas: replicas, Tiered: tiered, Seed: seed})
 				}
 			}
 		}
 	}
+	// Workload-subsystem cases: bursty on/off and multi-tenant mixes
+	// locked the same way.
+	for _, wl := range []string{"bursty", "multi-tenant"} {
+		for _, tiered := range []bool{false, true} {
+			for _, seed := range []int64{1, 7} {
+				name := "cacheblend/r2/"
+				if tiered {
+					name += "tiered"
+				} else {
+					name += "flat"
+				}
+				name += "/" + wl + "/seed" + strconv.FormatInt(seed, 10)
+				cases = append(cases, goldenCase{Name: name, Scheme: baselines.CacheBlend,
+					Replicas: 2, Tiered: tiered, Seed: seed, Workload: wl})
+			}
+		}
+	}
 	return cases
+}
+
+// run executes the case: legacy cases through serve.Run, workload cases
+// through RunWorkload.
+func (gc goldenCase) run(t *testing.T) Result {
+	t.Helper()
+	cfg := gc.config()
+	const rate, n, warmup = 0.5, 150, 50
+	chunks := workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew}
+	var w workload.Workload
+	switch gc.Workload {
+	case "":
+		return Run(cfg, rate, n, warmup, gc.Seed)
+	case "bursty":
+		w = workload.Bursty{Rate: rate, Burst: 8, Chunks: chunks}
+	case "multi-tenant":
+		w = workload.TenantMix(3, rate, chunks, 120)
+	default:
+		t.Fatalf("unknown golden workload %q", gc.Workload)
+	}
+	res, err := RunWorkload(cfg, w, n, warmup, gc.Seed)
+	if err != nil {
+		t.Fatalf("%s: %v", gc.Name, err)
+	}
+	return res
 }
 
 func (gc goldenCase) config() Config {
@@ -85,7 +135,7 @@ func (gc goldenCase) config() Config {
 func TestGoldenTraceReplay(t *testing.T) {
 	results := map[string]Result{}
 	for _, gc := range goldenCases() {
-		results[gc.Name] = Run(gc.config(), 0.5, 150, 50, gc.Seed)
+		results[gc.Name] = gc.run(t)
 	}
 	path := filepath.Join("testdata", "golden_trace_replay.json")
 	if *updateGolden {
@@ -127,13 +177,17 @@ func TestGoldenTraceReplay(t *testing.T) {
 	}
 }
 
-// TestGoldenReplayDeterministic: two in-process replays of the same trace
-// must agree bit-for-bit — the property the golden file relies on.
+// TestGoldenReplayDeterministic: two in-process replays of the same case
+// must agree bit-for-bit — the property the golden file relies on — for
+// the legacy Poisson path and for each workload-generated path.
 func TestGoldenReplayDeterministic(t *testing.T) {
-	gc := goldenCase{"det", baselines.CacheBlend, 4, true, 3}
-	a, _ := json.Marshal(Run(gc.config(), 0.5, 150, 50, gc.Seed))
-	b, _ := json.Marshal(Run(gc.config(), 0.5, 150, 50, gc.Seed))
-	if string(a) != string(b) {
-		t.Fatalf("replay not deterministic:\n%s\n%s", a, b)
+	for _, wl := range []string{"", "bursty", "multi-tenant"} {
+		gc := goldenCase{Name: "det/" + wl, Scheme: baselines.CacheBlend,
+			Replicas: 4, Tiered: true, Seed: 3, Workload: wl}
+		a, _ := json.Marshal(gc.run(t))
+		b, _ := json.Marshal(gc.run(t))
+		if string(a) != string(b) {
+			t.Fatalf("%s replay not deterministic:\n%s\n%s", gc.Name, a, b)
+		}
 	}
 }

@@ -1,58 +1,80 @@
 // The concurrent serving runtime: one arrival process feeds a shared
 // admission queue; N replica processes pull from it and execute requests
-// with continuous batching. A request's prefill is decomposed into
-// ChunksPerRequest+1 equal steps (one per context chunk plus the query
-// suffix); replicas admit waiting requests into the running batch and
-// retire finished ones only at these chunk-granularity boundaries, the
-// way vLLM-style continuous batching admits at iteration boundaries.
+// with continuous batching. A request's prefill is decomposed into one
+// equal step per retrieved context chunk plus one for the query suffix;
+// replicas admit waiting requests into the running batch and retire
+// finished ones only at these chunk-granularity boundaries, the way
+// vLLM-style continuous batching admits at iteration boundaries. The
+// request stream itself — arrival times, tenants, chunk ids — comes
+// pre-materialised from an internal/workload generator or a replayed
+// trace, so the runtime never samples randomness of its own and a run is
+// a pure function of (config, stream).
 package serve
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/sim"
-	"repro/internal/tensor"
+	"repro/internal/workload"
 )
 
 // request is one queued serving request.
 type request struct {
 	idx     int
 	arrival float64
-	ids     []int // retrieved chunk ids, sampled at generation time
+	tenant  int
+	ids     []int // retrieved chunk ids, from the workload stream
 }
 
 // member is a request resident in a replica's running batch.
 type member struct {
-	req       request
-	unit      float64 // duration of one of its steps
-	remaining int     // steps left
+	req           request
+	unit          float64 // duration of one of its steps
+	remaining     int     // steps left
+	lookups, hits int64   // its chunk-store lookup outcome at admission
+}
+
+// tenantAcc accumulates one tenant's post-warmup service statistics.
+type tenantAcc struct {
+	ttfts         []float64
+	lookups, hits int64
 }
 
 // cluster is the state of one simulated run.
 type cluster struct {
 	cfg        Config
-	rate       float64
-	n, warmup  int
-	seed       int64
+	reqs       []request
+	warmup     int
 	clock      *sim.Clock
 	queue      *sim.Queue[request]
 	store      *kvstore.Tiered
-	arrivals   []float64
 	chunkBytes int64
 
-	ttfts     []float64
-	completed int
-	lastDone  float64
-	busy      []float64
-	batchHist metrics.Histogram
-	depthSum  float64
-	depthN    int
+	ttfts       []float64
+	completed   int
+	lastDone    float64
+	busy        []float64
+	batchHist   metrics.Histogram
+	depthSum    float64
+	depthN      int
+	multiTenant bool
+	tenants     map[int]*tenantAcc
 }
 
-func newCluster(cfg Config, rate float64, n, warmup int, seed int64) *cluster {
-	return &cluster{cfg: cfg, rate: rate, n: n, warmup: warmup, seed: seed}
+// newCluster adopts a validated, arrival-ordered request stream.
+func newCluster(cfg Config, stream []workload.Request, warmup int) *cluster {
+	c := &cluster{cfg: cfg, warmup: warmup, tenants: map[int]*tenantAcc{}}
+	c.reqs = make([]request, len(stream))
+	for i, r := range stream {
+		c.reqs[i] = request{idx: i, arrival: r.Arrival, tenant: r.Tenant, ids: r.Chunks}
+		if r.Tenant != 0 {
+			c.multiTenant = true
+		}
+	}
+	return c
 }
 
 // buildTiers maps the config's storage hierarchy (or its single-device
@@ -80,18 +102,6 @@ func (c *cluster) buildTiers() []kvstore.Tier {
 // run executes the simulation and aggregates the Result.
 func (c *cluster) run() Result {
 	cfg := c.cfg
-	g := tensor.NewRNG(c.seed)
-	c.arrivals = sim.PoissonArrivals(g, c.rate, c.n)
-	// Sample every request's chunk ids up front, in arrival order, so the
-	// workload depends only on the seed — not on runtime interleaving.
-	reqs := make([]request, c.n)
-	for i := range reqs {
-		ids := make([]int, cfg.ChunksPerRequest)
-		for j := range ids {
-			ids[j] = sim.Zipf(g, cfg.ChunkPool, cfg.Skew)
-		}
-		reqs[i] = request{idx: i, arrival: c.arrivals[i], ids: ids}
-	}
 
 	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
 	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
@@ -102,7 +112,7 @@ func (c *cluster) run() Result {
 	c.busy = make([]float64, cfg.replicas())
 
 	c.clock.Go("arrivals", func(p *sim.Proc) {
-		for _, r := range reqs {
+		for _, r := range c.reqs {
 			p.SleepUntil(r.arrival)
 			// Sample the depth each arrival finds, excluding itself
 			// (arrivals see time averages — PASTA).
@@ -121,7 +131,6 @@ func (c *cluster) run() Result {
 	end := c.clock.Run()
 
 	res := Result{
-		Rate:       c.rate,
 		Requests:   c.completed,
 		Replicas:   cfg.replicas(),
 		MeanBatch:  c.batchHist.Mean(),
@@ -129,8 +138,8 @@ func (c *cluster) run() Result {
 	}
 	res.MeanTTFT = metrics.Mean(c.ttfts)
 	res.P95TTFT = metrics.Percentile(c.ttfts, 95)
-	if c.completed > 0 && c.warmup < c.n && c.lastDone > c.arrivals[c.warmup] {
-		res.Throughput = float64(c.completed) / (c.lastDone - c.arrivals[c.warmup])
+	if c.completed > 0 && c.warmup < len(c.reqs) && c.lastDone > c.reqs[c.warmup].arrival {
+		res.Throughput = float64(c.completed) / (c.lastDone - c.reqs[c.warmup].arrival)
 	}
 	st := c.store.Stats()
 	res.HitRate = st.HitRate()
@@ -153,7 +162,34 @@ func (c *cluster) run() Result {
 	for i, b := range c.busy {
 		res.ReplicaUtil[i] = metrics.Utilization(b, end)
 	}
+	res.Tenants = c.tenantUsage()
 	return res
+}
+
+// tenantUsage renders the per-tenant accumulators, ordered by tenant id.
+// Single-tenant streams report nil, keeping legacy Results unchanged.
+func (c *cluster) tenantUsage() []TenantUsage {
+	if !c.multiTenant {
+		return nil
+	}
+	ids := make([]int, 0, len(c.tenants))
+	for id := range c.tenants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]TenantUsage, 0, len(ids))
+	for _, id := range ids {
+		acc := c.tenants[id]
+		out = append(out, TenantUsage{
+			Tenant:   id,
+			Requests: len(acc.ttfts),
+			MeanTTFT: metrics.Mean(acc.ttfts),
+			P95TTFT:  metrics.Percentile(acc.ttfts, 95),
+			HitRate:  metrics.Ratio(acc.hits, acc.lookups),
+			Lookups:  acc.lookups,
+		})
+	}
+	return out
 }
 
 // replica is one worker process: it keeps a running batch, admitting from
@@ -203,9 +239,10 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 // admit computes the request's per-scheme service time against the shared
 // store's current state and splits it into chunk-boundary steps.
 func (c *cluster) admit(req request) *member {
-	steps := c.cfg.ChunksPerRequest + 1 // one per chunk, one for the query
-	service := serviceTime(c.cfg, c.store, req.ids, c.chunkBytes)
-	return &member{req: req, unit: service / float64(steps), remaining: steps}
+	steps := len(req.ids) + 1 // one per chunk, one for the query
+	service, lookups, hits := serviceTime(c.cfg, c.store, req.ids, c.chunkBytes)
+	return &member{req: req, unit: service / float64(steps), remaining: steps,
+		lookups: lookups, hits: hits}
 }
 
 // stepTime is the virtual duration of one batched step.
@@ -225,9 +262,20 @@ func (c *cluster) complete(p *sim.Proc, m *member) {
 		return
 	}
 	done := p.Now()
-	c.ttfts = append(c.ttfts, done-m.req.arrival)
+	ttft := done - m.req.arrival
+	c.ttfts = append(c.ttfts, ttft)
 	c.completed++
 	if done > c.lastDone {
 		c.lastDone = done
+	}
+	if c.multiTenant {
+		acc := c.tenants[m.req.tenant]
+		if acc == nil {
+			acc = &tenantAcc{}
+			c.tenants[m.req.tenant] = acc
+		}
+		acc.ttfts = append(acc.ttfts, ttft)
+		acc.lookups += m.lookups
+		acc.hits += m.hits
 	}
 }

@@ -1,12 +1,15 @@
-// Package serve simulates an LLM serving deployment end to end: Poisson
-// request arrivals into a shared admission queue, N replica workers with
-// continuous batching (requests join and leave a running batch at
-// chunk-granularity step boundaries), a capacity-bounded sharded KV cache
-// store shared by all replicas, and per-scheme prefill costs from the
-// calibrated timing model. It reproduces the paper's throughput study
-// (Figure 14) — TTFT as a function of request rate for CacheBlend, full
-// KV recompute and prefix caching — and extends it with the replica- and
-// batch-scaling dimension a production deployment lives in.
+// Package serve simulates an LLM serving deployment end to end: a
+// workload-generated (or trace-replayed) request stream into a shared
+// admission queue, N replica workers with continuous batching (requests
+// join and leave a running batch at chunk-granularity step boundaries), a
+// capacity-bounded sharded KV cache store shared by all replicas, and
+// per-scheme prefill costs from the calibrated timing model. It
+// reproduces the paper's throughput study (Figure 14) — TTFT as a
+// function of request rate for CacheBlend, full KV recompute and prefix
+// caching — and extends it with the replica- and batch-scaling dimension
+// a production deployment lives in and the bursty, diurnal and
+// multi-tenant arrival patterns real RAG traffic shows
+// (internal/workload).
 //
 // The runtime runs on sim.Clock: every replica is a real goroutine, but
 // the virtual-time scheduler hands execution to one process at a time, so
@@ -24,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/kvstore"
 	"repro/internal/timing"
+	"repro/internal/workload"
 )
 
 // TierConfig places one level of the KV storage hierarchy, fastest first.
@@ -136,6 +140,64 @@ func (c Config) tierConfigs() []TierConfig {
 	return []TierConfig{{Device: c.Device, Capacity: c.StoreCapacity}}
 }
 
+// chunks returns the workload sampling parameters embedded in the config,
+// for the Poisson wrapper and the CLI's generator construction.
+func (c Config) chunks() workload.Chunks {
+	return workload.Chunks{Pool: c.ChunkPool, PerRequest: c.ChunksPerRequest, Skew: c.Skew}
+}
+
+// Validate reports a descriptive error for configurations that used to
+// panic deep inside the simulator (degenerate token counts, non-serving
+// schemes, broken tier stacks). Workload sampling parameters (ChunkPool,
+// ChunksPerRequest, Skew) are validated by the workload that uses them;
+// here they only need to be non-negative.
+func (c Config) Validate() error {
+	switch c.Scheme {
+	case baselines.FullRecompute, baselines.PrefixCaching, baselines.FullKVReuse, baselines.CacheBlend:
+	default:
+		return fmt.Errorf("scheme %q is not a serving mode", c.Scheme)
+	}
+	switch {
+	case c.Spec.Layers <= 0:
+		return fmt.Errorf("model spec %q: no layers", c.Spec.Name)
+	case c.ChunkTokens <= 0:
+		return fmt.Errorf("chunk tokens %d: must be positive", c.ChunkTokens)
+	case c.QueryTokens < 0:
+		return fmt.Errorf("query tokens %d: negative", c.QueryTokens)
+	case c.Ratio < 0 || c.Ratio > 1:
+		return fmt.Errorf("recompute ratio %v: must be in [0, 1]", c.Ratio)
+	case c.ChunkPool < 0:
+		return fmt.Errorf("chunk pool %d: negative", c.ChunkPool)
+	case c.ChunksPerRequest < 0:
+		return fmt.Errorf("chunks per request %d: negative", c.ChunksPerRequest)
+	case c.Skew < 0:
+		return fmt.Errorf("chunk skew %v: negative", c.Skew)
+	case c.Replicas < 0:
+		return fmt.Errorf("replicas %d: negative", c.Replicas)
+	case c.MaxBatch < 0:
+		return fmt.Errorf("max batch %d: negative", c.MaxBatch)
+	case c.BatchOverhead < 0:
+		return fmt.Errorf("batch overhead %v: negative", c.BatchOverhead)
+	case c.StoreShards < 0:
+		return fmt.Errorf("store shards %d: negative", c.StoreShards)
+	case c.StoreCapacity < 0:
+		return fmt.Errorf("store capacity %d: negative", c.StoreCapacity)
+	}
+	tiers := c.tierConfigs()
+	for i, tc := range tiers {
+		if err := tc.Device.Validate(); err != nil {
+			return fmt.Errorf("tier %d: %w", i, err)
+		}
+		if tc.Capacity < 0 {
+			return fmt.Errorf("tier %d (%s): negative capacity %d", i, tc.Device.Name, tc.Capacity)
+		}
+		if tc.Capacity == 0 && i < len(tiers)-1 {
+			return fmt.Errorf("tier %d (%s): capacity 0 (unbounded) is only allowed on the bottom tier", i, tc.Device.Name)
+		}
+	}
+	return nil
+}
+
 // Result summarises one simulated run.
 type Result struct {
 	Rate       float64 // offered request rate (req/s)
@@ -161,6 +223,27 @@ type Result struct {
 	// Tiers is the per-tier placement telemetry, fastest tier first (one
 	// entry even for an untiered run).
 	Tiers []TierUsage
+	// Tenants is the per-tenant service breakdown, present only when the
+	// workload is multi-tenant (some request carries a non-zero tenant),
+	// ordered by tenant id. Single-tenant runs leave it nil, keeping their
+	// Results byte-compatible with the pre-workload runtime.
+	Tenants []TenantUsage `json:",omitempty"`
+}
+
+// TenantUsage is one tenant's slice of a run's service quality, over its
+// post-warmup completed requests.
+type TenantUsage struct {
+	// Tenant is the tenant id the workload stamped on its requests.
+	Tenant int
+	// Requests is the tenant's completed post-warmup request count.
+	Requests int
+	MeanTTFT float64
+	P95TTFT  float64
+	// HitRate is the tenant's KV hit rate over its own chunk lookups
+	// (Lookups); tenants sharing a store contend for it, so a bursty or
+	// low-skew neighbour shows up here as a depressed hit rate.
+	HitRate float64
+	Lookups int64
 }
 
 // TierUsage is one tier's share of a run's KV placement activity.
@@ -187,33 +270,82 @@ func (r Result) String() string {
 // Run simulates n requests arriving at the given Poisson rate and returns
 // aggregate TTFT/throughput statistics. The first warmup requests are
 // excluded from statistics (the paper skips its first 1 000 queries while
-// the store is cold). Same cfg, rate and seed ⇒ identical Result.
+// the store is cold). Same cfg, rate and seed ⇒ identical Result, bit
+// compatible with the pre-workload runtime (the Poisson generator
+// consumes the seed the same way the inlined sampling did).
+//
+// Run is the thin legacy wrapper: it builds a Poisson workload from the
+// config's sampling fields and panics on invalid input — the validation
+// errors are RunWorkload's, so the message still names the broken field.
 func Run(cfg Config, rate float64, n, warmup int, seed int64) Result {
-	if cfg.ChunksPerRequest <= 0 || cfg.ChunkTokens <= 0 || cfg.ChunkPool <= 0 {
-		panic(fmt.Sprintf("serve: degenerate config %+v", cfg))
-	}
-	switch cfg.Scheme {
-	case baselines.FullRecompute, baselines.PrefixCaching, baselines.FullKVReuse, baselines.CacheBlend:
-	default:
+	w := workload.Poisson{Rate: rate, Chunks: cfg.chunks()}
+	res, err := RunWorkload(cfg, w, n, warmup, seed)
+	if err != nil {
 		// Reject here, on the caller's goroutine, rather than mid-run on
 		// a replica process.
-		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))
+		panic(err.Error())
 	}
-	return newCluster(cfg, rate, n, warmup, seed).run()
+	res.Rate = rate // report the offered rate, not the realised one
+	return res
+}
+
+// RunWorkload simulates the first n requests of the stream w yields and
+// returns aggregate and per-tenant statistics, excluding the first warmup
+// requests. Everything is validated up front with descriptive errors
+// instead of panics. Result.Rate is the stream's realised mean arrival
+// rate (so a replayed trace reproduces the generating run's Result field
+// for field). Same cfg, workload and seed ⇒ identical Result.
+func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, fmt.Errorf("serve: %w", err)
+	}
+	if err := w.Validate(); err != nil {
+		return Result{}, fmt.Errorf("serve: workload: %w", err)
+	}
+	if n <= 0 {
+		return Result{}, fmt.Errorf("serve: n = %d: need at least one request", n)
+	}
+	if warmup < 0 {
+		return Result{}, fmt.Errorf("serve: warmup = %d: negative", warmup)
+	}
+	reqs := w.Generate(n, seed)
+	if len(reqs) == 0 {
+		return Result{}, fmt.Errorf("serve: workload %s yielded no requests", w.Name())
+	}
+	if warmup >= len(reqs) {
+		return Result{}, fmt.Errorf("serve: warmup %d must be below the stream's %d requests", warmup, len(reqs))
+	}
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return Result{}, fmt.Errorf("serve: workload %s: request %d: %w", w.Name(), i, err)
+		}
+		if i > 0 && reqs[i].Arrival < reqs[i-1].Arrival {
+			return Result{}, fmt.Errorf("serve: workload %s: request %d arrives at %v, before request %d at %v",
+				w.Name(), i, reqs[i].Arrival, i-1, reqs[i-1].Arrival)
+		}
+	}
+	res := newCluster(cfg, reqs, warmup).run()
+	if last := reqs[len(reqs)-1].Arrival; last > 0 {
+		res.Rate = float64(len(reqs)) / last
+	}
+	return res, nil
 }
 
 // serviceTime computes one request's prefill service time under the
-// scheme, updating the KV store. It is evaluated when the request is
-// admitted into a replica's batch, against the store's state at that
-// moment. Hits are charged the read time of the tier the chunk was found
-// on; for CacheBlend each tier's reused tokens recompute at the ratio the
-// loading controller picks for that tier's device (§5.1).
-func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64) float64 {
-	L := cfg.ChunksPerRequest*cfg.ChunkTokens + cfg.QueryTokens
+// scheme, updating the KV store, and reports the request's store lookup
+// and hit counts for per-tenant accounting. It is evaluated when the
+// request is admitted into a replica's batch, against the store's state
+// at that moment, and sizes the prompt from the request's own chunk list
+// — trace-replayed requests may retrieve any number of chunks. Hits are
+// charged the read time of the tier the chunk was found on; for
+// CacheBlend each tier's reused tokens recompute at the ratio the loading
+// controller picks for that tier's device (§5.1).
+func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64) (secs float64, lookups, hits int64) {
+	L := len(ids)*cfg.ChunkTokens + cfg.QueryTokens
 	spec := cfg.Spec
 	switch cfg.Scheme {
 	case baselines.FullRecompute:
-		return spec.FullPrefillTTFT(L)
+		return spec.FullPrefillTTFT(L), 0, 0
 
 	case baselines.PrefixCaching:
 		// Only a position-0 hit helps (§3.2). Following the paper's
@@ -222,33 +354,32 @@ func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64)
 		_, _, hit := store.Get(key)
 		if !hit {
 			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
+			return spec.FullPrefillTTFT(L), 1, 0
 		}
 		rest := L - cfg.ChunkTokens
-		if hit {
-			return spec.Prefill(rest) + spec.DecodeSecPerToken
-		}
-		return spec.FullPrefillTTFT(L)
+		return spec.Prefill(rest) + spec.DecodeSecPerToken, 1, 1
 
 	case baselines.FullKVReuse, baselines.CacheBlend:
-		hits := 0
+		found := 0
 		tierChunks := make([]int, store.Depth()) // hit chunks per tier
 		for _, id := range ids {
 			key := chunkKey(cfg, id)
 			if _, tier, ok := store.Get(key); ok {
-				hits++
+				found++
 				tierChunks[tier]++
 			} else {
 				store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
 			}
 		}
-		missTokens := (cfg.ChunksPerRequest-hits)*cfg.ChunkTokens + cfg.QueryTokens
+		lookups, hits = int64(len(ids)), int64(found)
+		missTokens := (len(ids)-found)*cfg.ChunkTokens + cfg.QueryTokens
 		missCost := spec.Prefill(missTokens)
 		if cfg.Scheme == baselines.FullKVReuse {
 			var loadCost float64
 			for tier, n := range tierChunks {
 				loadCost += store.TierDevice(tier).ReadTime(int64(n) * chunkBytes)
 			}
-			return loadCost + missCost + spec.DecodeSecPerToken
+			return loadCost + missCost + spec.DecodeSecPerToken, lookups, hits
 		}
 		// CacheBlend: selective recompute of the reused tokens, pipelined
 		// with their loading (§5) per the engine's loader/fusor schedule,
@@ -262,7 +393,7 @@ func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64)
 			tokens := n * cfg.ChunkTokens
 			blendCost += pipelineCost(spec, cfg.chunkRatio(tokens, d), tokens, d)
 		}
-		return blendCost + missCost + spec.DecodeSecPerToken
+		return blendCost + missCost + spec.DecodeSecPerToken, lookups, hits
 
 	default:
 		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))

@@ -1,0 +1,102 @@
+package sim
+
+// Property tests for the workload samplers: the statistical contracts the
+// workload generators and the serving simulation rely on, checked across
+// parameter grids rather than single points.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestPoissonArrivalsProperty: across rates and seeds, arrivals must be
+// strictly increasing with mean inter-arrival time ≈ 1/rate.
+func TestPoissonArrivalsProperty(t *testing.T) {
+	const n = 30000
+	for _, rate := range []float64{0.1, 0.5, 2, 8, 64} {
+		for _, seed := range []int64{1, 2, 3} {
+			arr := PoissonArrivals(tensor.NewRNG(seed), rate, n)
+			if len(arr) != n {
+				t.Fatalf("rate %v seed %d: %d arrivals, want %d", rate, seed, len(arr), n)
+			}
+			prev := 0.0
+			for i, a := range arr {
+				if a <= prev {
+					t.Fatalf("rate %v seed %d: arrival %d (%v) not strictly after %v", rate, seed, i, a, prev)
+				}
+				prev = a
+			}
+			mean := arr[n-1] / float64(n)
+			if math.Abs(mean-1/rate) > 0.03/rate {
+				t.Fatalf("rate %v seed %d: mean inter-arrival %v, want ≈ %v", rate, seed, mean, 1/rate)
+			}
+		}
+	}
+}
+
+// zipfHeadMass returns the fraction of draws landing in the most popular
+// decile of an n-sized domain.
+func zipfHeadMass(t *testing.T, n int, s float64, draws int) float64 {
+	t.Helper()
+	g := tensor.NewRNG(17)
+	head := 0
+	for i := 0; i < draws; i++ {
+		v := Zipf(g, n, s)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf(n=%d, s=%v) out of range: %d", n, s, v)
+		}
+		if v < n/10 {
+			head++
+		}
+	}
+	return float64(head) / float64(draws)
+}
+
+// TestZipfConcentrationMonotone: the head of the popularity distribution
+// must grow monotonically with the skew exponent within each sampling
+// branch. The sampler intentionally switches formulas at s=1 (inverse-CDF
+// power for s<1, a simple power skew for s≥1), so concentration is
+// monotone within each branch but not across the switch — both branches
+// are exercised here.
+func TestZipfConcentrationMonotone(t *testing.T) {
+	const n, draws = 200, 60000
+	branches := [][]float64{
+		{0, 0.25, 0.5, 0.75, 0.95}, // s < 1: inverse-CDF branch
+		{1.0, 1.3, 1.7, 2.5},       // s ≥ 1: power-skew branch
+	}
+	for _, ss := range branches {
+		prev := -1.0
+		for _, s := range ss {
+			head := zipfHeadMass(t, n, s, draws)
+			if head <= prev {
+				t.Fatalf("head mass not monotone in skew: s=%v gives %.3f, previous had %.3f", s, head, prev)
+			}
+			prev = head
+		}
+	}
+	// Uniform baseline: s=0 puts ≈10% in the top decile.
+	if h := zipfHeadMass(t, n, 0, draws); h < 0.07 || h > 0.13 {
+		t.Fatalf("s=0 head mass %.3f, want ≈0.10 (uniform)", h)
+	}
+	// Both branches must actually skew: clearly above uniform.
+	for _, s := range []float64{0.75, 1.7} {
+		if h := zipfHeadMass(t, n, s, draws); h < 0.2 {
+			t.Fatalf("s=%v head mass %.3f barely above uniform", s, h)
+		}
+	}
+}
+
+// TestZipfDeterministicAcrossBranches: same seed, same draws — for both
+// branch exponents.
+func TestZipfDeterministicAcrossBranches(t *testing.T) {
+	for _, s := range []float64{0.6, 1.4} {
+		a, b := tensor.NewRNG(5), tensor.NewRNG(5)
+		for i := 0; i < 2000; i++ {
+			if Zipf(a, 50, s) != Zipf(b, 50, s) {
+				t.Fatalf("s=%v: draw %d diverged across equal seeds", s, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRoundTrip throws arbitrary bytes at the JSONL trace decoder:
+// it must never panic, and whenever it accepts an input, the encoding
+// must be canonical — encode→decode→encode is byte-stable and the decoded
+// requests survive unchanged.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"t":0.5,"chunks":[3,0,17]}` + "\n" + `{"t":1.25,"tenant":2,"chunks":[51]}` + "\n"))
+	f.Add([]byte(`{"t":0,"chunks":[0]}`))
+	f.Add([]byte(`{"t":1e-3,"chunks":[1,2,3,4,5,6]}` + "\n"))
+	f.Add([]byte("{not json\n"))
+	f.Add([]byte(`{"t":-1,"chunks":[0]}`))
+	f.Add([]byte(""))
+	var buf bytes.Buffer
+	if err := Record(&buf, Bursty{Rate: 3, Burst: 6, Chunks: Chunks{Pool: 40, PerRequest: 2, Skew: 1.1}}.Generate(30, 1)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it didn't panic
+		}
+		var enc1 bytes.Buffer
+		if err := Record(&enc1, reqs); err != nil {
+			t.Fatalf("accepted trace failed to re-encode: %v", err)
+		}
+		again, err := Load(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed request count: %d → %d", len(reqs), len(again))
+		}
+		var enc2 bytes.Buffer
+		if err := Record(&enc2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatalf("encoding not canonical:\n%q\n%q", enc1.Bytes(), enc2.Bytes())
+		}
+	})
+}

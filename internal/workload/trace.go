@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The trace format is JSONL: one Request per line, e.g.
+//
+//	{"t":0.413,"chunks":[3,0,17]}
+//	{"t":0.878,"tenant":2,"chunks":[51,48]}
+//
+// Lines are strict (unknown fields rejected), arrivals must be
+// nondecreasing, and encoding is canonical: Record(Load(Record(x)))
+// reproduces Record(x) byte for byte, which FuzzTraceRoundTrip enforces.
+
+// Record writes a request stream as a JSONL trace.
+func Record(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			return fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		blob, err := json.Marshal(reqs[i])
+		if err != nil {
+			return fmt.Errorf("trace: request %d: %w", i, err)
+		}
+		bw.Write(blob)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// Load parses a JSONL trace, validating every request and the arrival
+// order. Corrupt input yields a descriptive error, never a panic.
+func Load(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var reqs []Request
+	line := 0
+	last := math.Inf(-1)
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(raw))
+		dec.DisallowUnknownFields()
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		// Trailing garbage after the JSON object on the same line.
+		if dec.More() {
+			return nil, fmt.Errorf("trace: line %d: trailing data after request", line)
+		}
+		if err := req.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		if req.Arrival < last {
+			return nil, fmt.Errorf("trace: line %d: arrival %v before previous arrival %v", line, req.Arrival, last)
+		}
+		last = req.Arrival
+		reqs = append(reqs, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("trace: no requests")
+	}
+	return reqs, nil
+}
+
+// Trace replays a recorded request stream as a Workload.
+type Trace struct {
+	// Label names the trace's origin (e.g. its file name) in telemetry.
+	Label string
+	// Reqs is the recorded stream, in arrival order.
+	Reqs []Request
+}
+
+// Name implements Workload.
+func (t Trace) Name() string {
+	if t.Label != "" {
+		return "trace:" + t.Label
+	}
+	return "trace"
+}
+
+// Validate implements Workload. Per-request checks happen in Load (and
+// again in serve.RunWorkload), so only emptiness is checked here.
+func (t Trace) Validate() error {
+	if len(t.Reqs) == 0 {
+		return errors.New("trace: no requests")
+	}
+	return nil
+}
+
+// Generate implements Workload: the first n recorded requests (all of
+// them when the trace is shorter). A trace is already materialised, so
+// the seed is ignored.
+func (t Trace) Generate(n int, _ int64) []Request {
+	if n <= 0 || n >= len(t.Reqs) {
+		return t.Reqs
+	}
+	return t.Reqs[:n]
+}
+
+// RecordFile writes reqs as a JSONL trace file.
+func RecordFile(path string, reqs []Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := Record(f, reqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a JSONL trace file into a replayable Trace labelled
+// with the file's base name.
+func LoadFile(path string) (Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Trace{}, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	reqs, err := Load(f)
+	if err != nil {
+		return Trace{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return Trace{Label: filepath.Base(path), Reqs: reqs}, nil
+}

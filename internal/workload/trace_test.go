@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleStream(t *testing.T) []Request {
+	t.Helper()
+	reqs := TenantMix(2, 4, Chunks{Pool: 100, PerRequest: 3, Skew: 0.9}, 25).Generate(200, 2)
+	if len(reqs) != 200 {
+		t.Fatalf("sample stream has %d requests", len(reqs))
+	}
+	return reqs
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	reqs := sampleStream(t)
+	var buf bytes.Buffer
+	if err := Record(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, reqs) {
+		t.Fatal("decoded trace differs from recorded stream")
+	}
+	// Canonical encoding: a second encode pass is byte-identical.
+	var again bytes.Buffer
+	if err := Record(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("re-encoding a decoded trace changed the bytes")
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	reqs := sampleStream(t)
+	path := filepath.Join(t.TempDir(), "stream.jsonl")
+	if err := RecordFile(path, reqs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Label != "stream.jsonl" {
+		t.Fatalf("label %q", tr.Label)
+	}
+	if !reflect.DeepEqual(tr.Reqs, reqs) {
+		t.Fatal("file round trip differs")
+	}
+	if got := tr.Generate(50, 999); !reflect.DeepEqual(got, reqs[:50]) {
+		t.Fatal("Trace.Generate(50) should return the first 50 requests")
+	}
+	if got := tr.Generate(10_000, 0); !reflect.DeepEqual(got, reqs) {
+		t.Fatal("Trace.Generate past the end should return everything")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+// TestLoadRejectsCorruptTraces: every malformed input yields a
+// descriptive error naming the offending line.
+func TestLoadRejectsCorruptTraces(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"bad json", "{not json\n", "line 1"},
+		{"unknown field", `{"t":1,"chunks":[0],"extra":1}` + "\n", "line 1"},
+		{"trailing data", `{"t":1,"chunks":[0]} {"t":2,"chunks":[0]}` + "\n", "trailing"},
+		{"negative arrival", `{"t":-1,"chunks":[0]}` + "\n", "arrival"},
+		{"nan arrival", `{"t":"x","chunks":[0]}` + "\n", "line 1"},
+		{"negative tenant", `{"t":1,"tenant":-2,"chunks":[0]}` + "\n", "tenant"},
+		{"no chunks", `{"t":1,"chunks":[]}` + "\n", "no chunks"},
+		{"negative chunk", `{"t":1,"chunks":[3,-4]}` + "\n", "negative id"},
+		{"out of order", `{"t":2,"chunks":[0]}` + "\n" + `{"t":1,"chunks":[0]}` + "\n", "line 2"},
+		{"empty", "", "no requests"},
+		{"blank lines only", "\n\n  \n", "no requests"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("accepted corrupt trace %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestLoadTolerates: whitespace and blank lines between records are fine;
+// an explicit tenant 0 decodes like an omitted one.
+func TestLoadTolerates(t *testing.T) {
+	in := "\n" + `  {"t":1,"chunks":[5]}  ` + "\n\n" + `{"t":2,"tenant":0,"chunks":[6,7]}` + "\n"
+	got, err := Load(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{{Arrival: 1, Chunks: []int{5}}, {Arrival: 2, Chunks: []int{6, 7}}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v want %+v", got, want)
+	}
+}
+
+func TestRecordRejectsInvalidRequests(t *testing.T) {
+	var buf bytes.Buffer
+	err := Record(&buf, []Request{{Arrival: 1, Chunks: nil}})
+	if err == nil || !strings.Contains(err.Error(), "request 0") {
+		t.Fatalf("Record accepted an invalid request: %v", err)
+	}
+}

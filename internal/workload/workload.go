@@ -1,0 +1,131 @@
+// Package workload generates and replays the request streams the serving
+// runtime consumes. The paper measures its gains on real RAG traffic,
+// which is neither smooth nor single-tenant: arrivals are bursty, follow
+// diurnal rate curves, and mix tenants whose chunk popularity is skewed
+// differently and drifts over time. Each generator here yields the same
+// deterministic (arrival time, tenant, chunk ids) stream for a given
+// seed, and any generated stream can be exported as a JSONL trace and
+// replayed bit-identically through serve.RunWorkload.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Request is one serving request of a workload stream: when it arrives,
+// which tenant issued it, and which context chunks it retrieves.
+type Request struct {
+	// Arrival is the request's arrival time in seconds of virtual time.
+	Arrival float64 `json:"t"`
+	// Tenant identifies the issuing tenant (0 in single-tenant streams).
+	Tenant int `json:"tenant,omitempty"`
+	// Chunks are the retrieved chunk ids, in prompt order.
+	Chunks []int `json:"chunks"`
+}
+
+// Validate reports the first structural problem with the request.
+func (r Request) Validate() error {
+	if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
+		return fmt.Errorf("arrival %v: must be finite and non-negative", r.Arrival)
+	}
+	if r.Tenant < 0 {
+		return fmt.Errorf("tenant %d: negative", r.Tenant)
+	}
+	if len(r.Chunks) == 0 {
+		return fmt.Errorf("no chunks retrieved")
+	}
+	for i, id := range r.Chunks {
+		if id < 0 {
+			return fmt.Errorf("chunk %d: negative id %d", i, id)
+		}
+	}
+	return nil
+}
+
+// Workload yields a deterministic request stream for the serving runtime.
+type Workload interface {
+	// Name identifies the generator (or trace) in telemetry and errors.
+	Name() string
+	// Validate reports a descriptive error for degenerate parameters
+	// before any request is generated.
+	Validate() error
+	// Generate returns up to n requests in nondecreasing arrival order,
+	// bit-identically for the same seed.
+	Generate(n int, seed int64) []Request
+}
+
+// Chunks describes how a stream samples each request's context chunks: a
+// Zipf-skewed draw over Pool ids, optionally offset into a tenant-private
+// id range, with the popularity ranking optionally drifting over time.
+type Chunks struct {
+	// Pool is the number of distinct chunks in the corpus slice.
+	Pool int
+	// PerRequest is how many chunks each request retrieves.
+	PerRequest int
+	// Skew is the popularity skew (sim.Zipf exponent; 0 = uniform).
+	Skew float64
+	// Offset shifts sampled ids, giving tenants disjoint corpora.
+	Offset int
+	// DriftPeriod rotates the popularity ranking by DriftStep ids every
+	// DriftPeriod seconds of virtual time, so the hot set wanders the way
+	// trending documents do — 0 disables drift.
+	DriftPeriod float64
+	// DriftStep is how many ids one drift period shifts the ranking
+	// (default Pool/4 when drifting).
+	DriftStep int
+}
+
+// Validate reports the first degenerate sampling parameter.
+func (c Chunks) Validate() error {
+	switch {
+	case c.Pool <= 0:
+		return fmt.Errorf("chunk pool %d: need at least one chunk", c.Pool)
+	case c.PerRequest <= 0:
+		return fmt.Errorf("chunks per request %d: need at least one", c.PerRequest)
+	case c.Skew < 0:
+		return fmt.Errorf("chunk skew %v: negative", c.Skew)
+	case c.Offset < 0:
+		return fmt.Errorf("chunk offset %d: negative", c.Offset)
+	case c.DriftPeriod < 0:
+		return fmt.Errorf("drift period %v: negative", c.DriftPeriod)
+	case c.DriftStep < 0:
+		return fmt.Errorf("drift step %d: negative", c.DriftStep)
+	}
+	return nil
+}
+
+// Sample draws one request's chunk ids at virtual time at. Without offset
+// and drift the draw is exactly the runtime's original per-request Zipf
+// sampling, consuming g identically.
+func (c Chunks) Sample(g *tensor.RNG, at float64) []int {
+	shift := 0
+	if c.DriftPeriod > 0 {
+		step := c.DriftStep
+		if step <= 0 {
+			step = (c.Pool + 3) / 4
+		}
+		shift = int(at/c.DriftPeriod) * step
+	}
+	ids := make([]int, c.PerRequest)
+	for j := range ids {
+		r := sim.Zipf(g, c.Pool, c.Skew)
+		if shift != 0 {
+			r = (r + shift) % c.Pool
+		}
+		ids[j] = c.Offset + r
+	}
+	return ids
+}
+
+// expo draws an exponential sample with the given mean.
+func expo(g *tensor.RNG, mean float64) float64 {
+	u := g.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -math.Log(u) * mean
+}

@@ -21,6 +21,16 @@ func goTool(t *testing.T, args ...string) string {
 	return string(out)
 }
 
+// goToolErr is goTool for commands that are expected to fail: it returns
+// the combined output and the error.
+func goToolErr(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
 // TestBuildAllMains builds every main package under cmd/ and examples/,
 // so binaries can't silently rot while only library tests run.
 func TestBuildAllMains(t *testing.T) {
@@ -81,6 +91,72 @@ func TestServeCLISmoke(t *testing.T) {
 		if !strings.Contains(out, w) {
 			t.Fatalf("serve CLI output missing %q:\n%s", w, out)
 		}
+	}
+}
+
+// TestServeCLIWorkloadSmoke drives the serving CLI's workload generators:
+// a bursty stream and a multi-tenant mix with per-tenant telemetry.
+func TestServeCLIWorkloadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	out := goTool(t, "run", "./cmd/cacheblend-serve",
+		"-workload", "bursty", "-burst", "8", "-rates", "1", "-n", "200")
+	for _, w := range []string{"workload=bursty", "mean_ttft"} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("bursty serve CLI output missing %q:\n%s", w, out)
+		}
+	}
+	out = goTool(t, "run", "./cmd/cacheblend-serve",
+		"-tenants", "3", "-rates", "1", "-n", "300", "-v")
+	for _, w := range []string{"tenants=3", "tenant 0", "tenant 2", "hit="} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("multi-tenant serve CLI output missing %q:\n%s", w, out)
+		}
+	}
+	if out, err := goToolErr(t, "run", "./cmd/cacheblend-serve", "-workload", "sawtooth", "-rates", "1"); err == nil {
+		t.Fatalf("unknown workload accepted:\n%s", out)
+	}
+}
+
+// TestServeCLITraceRecordReplay is the CLI half of the record/replay
+// acceptance: a recorded bursty run replayed through -trace must print
+// the identical result line, and a malformed trace must fail with a
+// line-numbered error.
+func TestServeCLITraceRecordReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	gen := goTool(t, "run", "./cmd/cacheblend-serve",
+		"-workload", "bursty", "-rates", "1", "-n", "200", "-record", trace)
+	replay := goTool(t, "run", "./cmd/cacheblend-serve", "-trace", trace)
+	resultLine := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "mean_ttft") {
+				return line
+			}
+		}
+		t.Fatalf("no result line in:\n%s", out)
+		return ""
+	}
+	if g, r := resultLine(gen), resultLine(replay); g != r {
+		t.Fatalf("trace replay result differs:\n gen    %s\n replay %s", g, r)
+	}
+	if !strings.Contains(replay, "workload=trace:run.jsonl") {
+		t.Fatalf("replay output does not name the trace:\n%s", replay)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := goToolErr(t, "run", "./cmd/cacheblend-serve", "-trace", bad)
+	if err == nil {
+		t.Fatalf("malformed trace accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "line 1") {
+		t.Fatalf("malformed-trace error does not name the line:\n%s", out)
 	}
 }
 
