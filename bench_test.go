@@ -315,7 +315,7 @@ func BenchmarkServeWorkloads(b *testing.B) {
 		{"poisson", workload.Poisson{Rate: rate, Chunks: chunks}},
 		{"bursty", workload.Bursty{Rate: rate, Burst: 8, Chunks: chunks}},
 		{"diurnal", workload.Diurnal{Rate: rate, Amplitude: 0.8, Chunks: chunks}},
-		{"tenants3", workload.TenantMix(3, rate, chunks, 100)},
+		{"tenants3", workload.TenantMix(3, rate, chunks, 100, workload.Decode{})},
 	}
 	for _, load := range loads {
 		load := load
@@ -329,6 +329,35 @@ func BenchmarkServeWorkloads(b *testing.B) {
 				p95 = res.P95TTFT
 			}
 			b.ReportMetric(p95*1000, "p95-ttft-ms")
+		})
+	}
+}
+
+// BenchmarkServeDecode runs the two-phase prefill+decode runtime across
+// generation lengths, reporting mean TBT — the decode-phase counterpart
+// of BenchmarkServeWorkloads. Longer generations mean many more simulated
+// steps (and per-token KV store writes) per request, so this also tracks
+// the simulator's own cost per generated token.
+func BenchmarkServeDecode(b *testing.B) {
+	cfg := serve.Config{
+		Spec: timing.Mistral7B, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Device: device.NVMeSSD, MaxBatch: 8, ChunkPool: 500, ChunksPerRequest: 6,
+		ChunkTokens: 512, QueryTokens: 32, Skew: 0.8,
+	}
+	chunks := workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew}
+	for _, mean := range []float64{16, 64, 256} {
+		mean := mean
+		b.Run(fmt.Sprintf("decode%d", int(mean)), func(b *testing.B) {
+			w := workload.Poisson{Rate: 0.5, Chunks: chunks, Decode: workload.Decode{Mean: mean}}
+			var tbt float64
+			for i := 0; i < b.N; i++ {
+				res, err := serve.RunWorkload(cfg, w, 300, 75, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tbt = res.MeanTBT
+			}
+			b.ReportMetric(tbt*1000, "tbt-ms")
 		})
 	}
 }

@@ -11,6 +11,8 @@
 //	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:64,nvme-ssd:0 -v
 //	cacheblend-serve -workload bursty -burst 8 -rates 1
 //	cacheblend-serve -tenants 3 -rates 1 -v
+//	cacheblend-serve -decode 64 -batch 8 -rates 0.5 -v
+//	cacheblend-serve -decode 32 -decode-dist fixed -rates 1
 //	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
 //	cacheblend-serve -trace run.jsonl     # bit-identical replay
 package main
@@ -53,10 +55,29 @@ func main() {
 		burst        = flag.Float64("burst", 8, "bursty workload's peak-to-mean rate factor")
 		amplitude    = flag.Float64("amplitude", 0.8, "diurnal workload's relative rate swing in [0,1]")
 		tenants      = flag.Int("tenants", 1, "tenant count: >1 runs a multi-tenant Poisson mix (disjoint corpus slices, fanned-out skew, drifting popularity)")
+		decodeMean   = flag.Float64("decode", 0, "mean generation length in output tokens (0 = prefill-only legacy behaviour)")
+		decodeDist   = flag.String("decode-dist", "geometric", "generation-length distribution: geometric or fixed")
 		tracePath    = flag.String("trace", "", "replay a recorded JSONL trace instead of generating a workload")
 		recordPath   = flag.String("record", "", "record the generated request stream to a JSONL trace (requires exactly one rate)")
 	)
 	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *tracePath != "" && set["workload"] {
+		fatal(fmt.Errorf("-trace replays a recorded stream and cannot be combined with -workload %s: drop one of the two flags", *workloadName))
+	}
+	if *tracePath != "" && (set["decode"] || set["decode-dist"]) {
+		fatal(fmt.Errorf("-trace replays a recorded stream (its decode budgets included) and cannot be combined with -decode/-decode-dist"))
+	}
+	dec := workload.Decode{Mean: *decodeMean}
+	switch *decodeDist {
+	case "geometric":
+	case "fixed":
+		dec.Deterministic = true
+	default:
+		fatal(fmt.Errorf("unknown -decode-dist %q (want geometric or fixed)", *decodeDist))
+	}
 
 	spec, err := timing.SpecByName(*modelName)
 	if err != nil {
@@ -131,10 +152,10 @@ func main() {
 		fatal(fmt.Errorf("-record needs exactly one rate, got %d", len(rates)))
 	}
 
-	fmt.Printf("model=%s scheme=%s placement=%s workload=%s tenants=%d pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
-		spec.Name, cfg.Scheme, placement, *workloadName, *tenants, *pool, *chunks, *chunkTok, *replicas, *batch)
+	fmt.Printf("model=%s scheme=%s placement=%s workload=%s tenants=%d decode=%g pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
+		spec.Name, cfg.Scheme, placement, *workloadName, *tenants, *decodeMean, *pool, *chunks, *chunkTok, *replicas, *batch)
 	for _, rate := range rates {
-		w, err := buildWorkload(*workloadName, rate, *burst, *amplitude, *tenants, cfg)
+		w, err := buildWorkload(*workloadName, rate, *burst, *amplitude, *tenants, dec, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -162,23 +183,23 @@ func main() {
 
 // buildWorkload constructs the request-stream generator the flags ask
 // for. Multi-tenant mixes are Poisson per tenant (disjoint corpus slices,
-// fanned-out skew, drifting popularity on odd tenants).
-func buildWorkload(name string, rate, burst, amplitude float64, tenants int, cfg serve.Config) (workload.Workload, error) {
+// fanned-out skew and decode means, drifting popularity on odd tenants).
+func buildWorkload(name string, rate, burst, amplitude float64, tenants int, dec workload.Decode, cfg serve.Config) (workload.Workload, error) {
 	chunks := workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew}
 	if tenants > 1 {
 		if name != "poisson" {
 			return nil, fmt.Errorf("-tenants %d implies -workload poisson (got %q)", tenants, name)
 		}
 		// Drift period: a few popularity rotations across a typical run.
-		return workload.TenantMix(tenants, rate, chunks, 100/rate), nil
+		return workload.TenantMix(tenants, rate, chunks, 100/rate, dec), nil
 	}
 	switch name {
 	case "poisson":
-		return workload.Poisson{Rate: rate, Chunks: chunks}, nil
+		return workload.Poisson{Rate: rate, Chunks: chunks, Decode: dec}, nil
 	case "bursty":
-		return workload.Bursty{Rate: rate, Burst: burst, Chunks: chunks}, nil
+		return workload.Bursty{Rate: rate, Burst: burst, Chunks: chunks, Decode: dec}, nil
 	case "diurnal":
-		return workload.Diurnal{Rate: rate, Amplitude: amplitude, Chunks: chunks}, nil
+		return workload.Diurnal{Rate: rate, Amplitude: amplitude, Chunks: chunks, Decode: dec}, nil
 	default:
 		return nil, fmt.Errorf("unknown workload %q (want poisson, bursty or diurnal)", name)
 	}
@@ -199,8 +220,16 @@ func printResult(res serve.Result, verbose bool) {
 			float64(tu.BytesResident)/1e9)
 	}
 	for _, tu := range res.Tenants {
-		fmt.Printf("  tenant %-3d requests=%d mean_ttft=%.3fs p95=%.3fs hit=%.0f%% lookups=%d\n",
+		line := fmt.Sprintf("  tenant %-3d requests=%d mean_ttft=%.3fs p95=%.3fs hit=%.0f%% lookups=%d",
 			tu.Tenant, tu.Requests, tu.MeanTTFT, tu.P95TTFT, tu.HitRate*100, tu.Lookups)
+		if tu.OutputTokens > 0 {
+			line += fmt.Sprintf(" tbt=%.3fs e2e=%.3fs tokens=%d", tu.MeanTBT, tu.MeanE2E, tu.OutputTokens)
+		}
+		fmt.Println(line)
+	}
+	if res.OutputTokens > 0 {
+		fmt.Printf("  steps prefill=%.0f%% decode=%.0f%% mixed=%.0f%%\n",
+			res.PrefillStepShare*100, res.DecodeStepShare*100, res.MixedStepShare*100)
 	}
 }
 

@@ -251,6 +251,23 @@ func PipelineTime(layers int, loadLayer, compLayer float64) float64 {
 	return compDone
 }
 
+// DecodeStepTime is the analytic cost of one decode iteration over a
+// batch of `width` sequences: perToken seconds for the pacing sequence,
+// plus `marginal` of that for every additional sequence. Decode is
+// memory-bandwidth-bound — each step streams the full weights once for
+// the whole batch and only the per-sequence KV reads grow with width —
+// so the marginal factor is far below prefill's FLOP-bound batch
+// overhead (the serving runtime defaults it to 0.08 vs prefill's 0.35).
+// Width below 1 is treated as 1. The serving runtime uses this as the
+// per-step execution model for decode-only batches, the way it uses
+// PipelineTime for blended prefills.
+func DecodeStepTime(perToken float64, width int, marginal float64) float64 {
+	if width < 1 {
+		width = 1
+	}
+	return perToken * (1 + marginal*float64(width-1))
+}
+
 func allIdx(n int) []int {
 	idx := make([]int, n)
 	for i := range idx {

@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -218,6 +218,57 @@ func TestBurstSweepShape(t *testing.T) {
 	full := p95["full-recompute"]["bursty×16"]
 	if blend >= full/2 {
 		t.Fatalf("under heavy bursts cacheblend p95 %.3f should be far below full recompute's %.3f", blend, full)
+	}
+}
+
+// TestDecodeSweepShape is the decode-phase acceptance check: CacheBlend's
+// mean-TTFT advantage over full recompute stays roughly constant across
+// generation lengths, while per-token cost converges — the schemes sit
+// far closer on mean TBT than on TTFT, and normalized latency (e2e per
+// token) tightens as decode comes to dominate.
+func TestDecodeSweepShape(t *testing.T) {
+	tab := DecodeSweep(600)
+	if len(tab.Rows) != 3*4 {
+		t.Fatalf("want 12 rows (3 schemes × 4 lengths), got %d", len(tab.Rows))
+	}
+	get := func(scheme, decode, col string) float64 {
+		for i, row := range tab.Rows {
+			if row[0] == scheme && row[1] == decode {
+				return num(t, cell(t, tab, i, col))
+			}
+		}
+		t.Fatalf("row %s/%s missing", scheme, decode)
+		return 0
+	}
+	// TTFT advantage roughly constant across generation lengths.
+	var lo, hi float64
+	for _, d := range []string{"0", "16", "64", "256"} {
+		adv := get("full-recompute", d, "mean-ttft(s)") / get("cacheblend", d, "mean-ttft(s)")
+		if adv < 2 {
+			t.Fatalf("decode %s: TTFT advantage %.2f× collapsed", d, adv)
+		}
+		if lo == 0 || adv < lo {
+			lo = adv
+		}
+		if adv > hi {
+			hi = adv
+		}
+	}
+	if hi > 1.5*lo {
+		t.Fatalf("TTFT advantage not roughly constant across generation lengths: %.2f×–%.2f×", lo, hi)
+	}
+	// Per-token convergence: at the longest generations the schemes sit
+	// far closer on TBT than on TTFT…
+	ttftRatio := get("full-recompute", "256", "mean-ttft(s)") / get("cacheblend", "256", "mean-ttft(s)")
+	tbtRatio := get("full-recompute", "256", "mean-tbt(s)") / get("cacheblend", "256", "mean-tbt(s)")
+	if tbtRatio > ttftRatio/1.5 {
+		t.Fatalf("decode 256: TBT gap %.2f× not far below TTFT gap %.2f×", tbtRatio, ttftRatio)
+	}
+	// …and normalized latency converges as decode dominates.
+	r16 := get("full-recompute", "16", "e2e/tok(s)") / get("cacheblend", "16", "e2e/tok(s)")
+	r256 := get("full-recompute", "256", "e2e/tok(s)") / get("cacheblend", "256", "e2e/tok(s)")
+	if r256 >= r16 {
+		t.Fatalf("normalized-latency gap widened with generation length: %.2f× at 16 vs %.2f× at 256", r16, r256)
 	}
 }
 

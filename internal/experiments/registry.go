@@ -48,6 +48,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{Fig17(o.MaxCases), Fig17Tiered(o.Requests)} }},
 		{"burst", "TTFT vs burstiness at equal mean rate (workload-generator extension)",
 			func(o RunOpts) []*Table { return []*Table{BurstSweep(o.Requests)} }},
+		{"decode", "TTFT vs TBT as generation length grows (decode-phase continuous batching)",
+			func(o RunOpts) []*Table { return []*Table{DecodeSweep(o.Requests)} }},
 	}
 }
 

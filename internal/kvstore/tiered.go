@@ -190,6 +190,22 @@ func (t *Tiered) Put(id chunk.ID, payload Sized) error {
 	return fmt.Errorf("kvstore: no tier can hold %d bytes: %w", payload.SizeBytes(), err)
 }
 
+// Remove deletes id from whichever tier holds it, reporting whether it
+// was present. Removal is a release, not an eviction: it fires no evict
+// handler and touches no hit/miss statistics. The serving runtime uses
+// it to free a retired request's generated KV.
+func (t *Tiered) Remove(id chunk.ID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := false
+	for _, tier := range t.tiers {
+		if _, ok := tier.Remove(id); ok {
+			removed = true
+		}
+	}
+	return removed
+}
+
 // LoadTime returns the simulated seconds to read id's payload from the
 // tier it currently lives on (0 if absent). It does not count as a Get
 // and does not promote.

@@ -74,6 +74,41 @@ func TestTieredPutLandsOnTop(t *testing.T) {
 	}
 }
 
+// TestTieredRemove: removal releases the entry from whichever tier holds
+// it without firing the demotion cascade or touching lookup statistics —
+// the contract the serving runtime relies on when freeing a retired
+// request's generated KV.
+func TestTieredRemove(t *testing.T) {
+	ts := MustTiered(threeTiers(100, 100, 0), LRU)
+	defer ts.Close()
+	ts.Put(id(1), Bytes(50))  //nolint:errcheck // lands on top
+	ts.Put(id(2), Bytes(500)) //nolint:errcheck // bottom only
+	statsBefore := ts.Stats()
+	demosBefore := ts.TierStats()[0].Demotions
+	for _, cid := range []chunk.ID{id(1), id(2)} {
+		if !ts.Remove(cid) {
+			t.Fatalf("Remove(%s) reported absent", cid)
+		}
+		if got := tierOf(t, ts, cid); got != -1 {
+			t.Fatalf("%s still resident on tier %d after Remove", cid, got)
+		}
+		if ts.Remove(cid) {
+			t.Fatalf("second Remove(%s) reported present", cid)
+		}
+	}
+	if ts.Used() != 0 || ts.Len() != 0 {
+		t.Fatalf("store not empty after removals: used=%d len=%d", ts.Used(), ts.Len())
+	}
+	after := ts.Stats()
+	if after.Hits != statsBefore.Hits || after.Misses != statsBefore.Misses ||
+		after.Evictions != statsBefore.Evictions {
+		t.Fatalf("Remove distorted stats: %+v vs %+v", after, statsBefore)
+	}
+	if ts.TierStats()[0].Demotions != demosBefore {
+		t.Fatal("Remove triggered a demotion cascade")
+	}
+}
+
 func TestTieredGetReportsHitTierAndPromotes(t *testing.T) {
 	ts := MustTiered(threeTiers(100, 100, 0), LRU)
 	defer ts.Close()

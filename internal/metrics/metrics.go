@@ -134,7 +134,10 @@ func pearson(x, y []float64) float64 {
 	return cov / math.Sqrt(vx*vy)
 }
 
-// Mean returns the arithmetic mean, or 0 for an empty slice.
+// Mean returns the arithmetic mean. Degenerate inputs are well-defined —
+// the serving runtime's decode metrics hit them routinely (a stream of
+// zero-generation requests yields no TBT samples at all): an empty slice
+// returns 0, a single-element slice returns that element.
 func Mean(x []float64) float64 {
 	if len(x) == 0 {
 		return 0
@@ -167,7 +170,12 @@ func CoefVar(x []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) using linear
-// interpolation between order statistics.
+// interpolation between order statistics. Degenerate inputs are
+// well-defined — the serving runtime's decode metrics hit them routinely
+// (zero-generation requests produce no TBT samples, one decode step
+// produces exactly one): an empty slice returns 0 for every p, a
+// single-element slice returns that element for every p, and p is
+// clamped to [0, 100] (p ≤ 0 returns the minimum, p ≥ 100 the maximum).
 func Percentile(x []float64, p float64) float64 {
 	if len(x) == 0 {
 		return 0

@@ -136,8 +136,42 @@ func TestMean(t *testing.T) {
 	if Mean(nil) != 0 {
 		t.Fatal("empty mean must be 0")
 	}
+	if Mean([]float64{}) != 0 {
+		t.Fatal("empty non-nil mean must be 0")
+	}
+	if Mean([]float64{7.25}) != 7.25 {
+		t.Fatal("single-element mean must be the element")
+	}
 	if Mean([]float64{1, 2, 3}) != 2 {
 		t.Fatal("mean wrong")
+	}
+}
+
+// TestMeanPercentileDegenerate pins the empty- and single-element-slice
+// contract the serving runtime's decode metrics rely on: a stream of
+// zero-generation requests yields no TBT samples (empty → 0 everywhere)
+// and a one-token generation yields exactly one (singleton → that element
+// for every p).
+func TestMeanPercentileDegenerate(t *testing.T) {
+	for _, p := range []float64{-10, 0, 1, 50, 95, 100, 250} {
+		if got := Percentile(nil, p); got != 0 {
+			t.Fatalf("Percentile(nil, %v) = %v, want 0", p, got)
+		}
+		if got := Percentile([]float64{}, p); got != 0 {
+			t.Fatalf("Percentile(empty, %v) = %v, want 0", p, got)
+		}
+		if got := Percentile([]float64{3.5}, p); got != 3.5 {
+			t.Fatalf("Percentile([3.5], %v) = %v, want 3.5", p, got)
+		}
+	}
+	// p clamps to the order statistics' range on larger slices too.
+	x := []float64{2, 1}
+	if Percentile(x, -5) != 1 || Percentile(x, 400) != 2 {
+		t.Fatal("out-of-range p must clamp to min/max")
+	}
+	// The input slice is never mutated (Percentile sorts a copy).
+	if x[0] != 2 || x[1] != 1 {
+		t.Fatal("Percentile mutated its input")
 	}
 }
 

@@ -53,9 +53,9 @@ func goldenCases() []goldenCase {
 			}
 		}
 	}
-	// Workload-subsystem cases: bursty on/off and multi-tenant mixes
-	// locked the same way.
-	for _, wl := range []string{"bursty", "multi-tenant"} {
+	// Workload-subsystem cases: bursty on/off, multi-tenant mixes and
+	// decode-enabled (two-phase prefill+decode) runs locked the same way.
+	for _, wl := range []string{"bursty", "multi-tenant", "decode", "decode-tenants"} {
 		for _, tiered := range []bool{false, true} {
 			for _, seed := range []int64{1, 7} {
 				name := "cacheblend/r2/"
@@ -87,7 +87,11 @@ func (gc goldenCase) run(t *testing.T) Result {
 	case "bursty":
 		w = workload.Bursty{Rate: rate, Burst: 8, Chunks: chunks}
 	case "multi-tenant":
-		w = workload.TenantMix(3, rate, chunks, 120)
+		w = workload.TenantMix(3, rate, chunks, 120, workload.Decode{})
+	case "decode":
+		w = workload.Poisson{Rate: rate, Chunks: chunks, Decode: workload.Decode{Mean: 24}}
+	case "decode-tenants":
+		w = workload.TenantMix(3, rate, chunks, 120, workload.Decode{Mean: 16})
 	default:
 		t.Fatalf("unknown golden workload %q", gc.Workload)
 	}
@@ -181,7 +185,7 @@ func TestGoldenTraceReplay(t *testing.T) {
 // must agree bit-for-bit — the property the golden file relies on — for
 // the legacy Poisson path and for each workload-generated path.
 func TestGoldenReplayDeterministic(t *testing.T) {
-	for _, wl := range []string{"", "bursty", "multi-tenant"} {
+	for _, wl := range []string{"", "bursty", "multi-tenant", "decode", "decode-tenants"} {
 		gc := goldenCase{Name: "det/" + wl, Scheme: baselines.CacheBlend,
 			Replicas: 4, Tiered: true, Seed: 3, Workload: wl}
 		a, _ := json.Marshal(gc.run(t))

@@ -1,11 +1,15 @@
 // The concurrent serving runtime: one arrival process feeds a shared
 // admission queue; N replica processes pull from it and execute requests
-// with continuous batching. A request's prefill is decomposed into one
-// equal step per retrieved context chunk plus one for the query suffix;
-// replicas admit waiting requests into the running batch and retire
-// finished ones only at these chunk-granularity boundaries, the way
-// vLLM-style continuous batching admits at iteration boundaries. The
-// request stream itself — arrival times, tenants, chunk ids — comes
+// with continuous batching. A request runs a two-phase lifecycle. Its
+// prefill is decomposed into one equal step per retrieved context chunk
+// plus one for the query suffix; the last prefill step emits the first
+// token (TTFT). A request with a generation budget then switches to
+// per-token decode steps — each emits one token, appends its KV bytes to
+// the shared store, and batches freely with other members' prefill and
+// decode steps, the way vLLM-style continuous batching interleaves
+// phases at iteration boundaries. Replicas admit waiting requests and
+// retire finished ones only at step boundaries. The request stream
+// itself — arrival times, tenants, chunk ids, decode budgets — comes
 // pre-materialised from an internal/workload generator or a replayed
 // trace, so the runtime never samples randomness of its own and a run is
 // a pure function of (config, stream).
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chunk"
+	"repro/internal/engine"
 	"repro/internal/kvstore"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -27,19 +33,28 @@ type request struct {
 	arrival float64
 	tenant  int
 	ids     []int // retrieved chunk ids, from the workload stream
+	decode  int   // decode steps after the first token, from the stream
 }
 
-// member is a request resident in a replica's running batch.
+// member is a request resident in a replica's running batch: a two-phase
+// state machine (prefill steps, then decode steps once decoding is set).
 type member struct {
 	req           request
-	unit          float64 // duration of one of its steps
-	remaining     int     // steps left
-	lookups, hits int64   // its chunk-store lookup outcome at admission
+	unit          float64 // duration of one step in the current phase
+	remaining     int     // steps left in the current phase
+	decoding      bool    // prefill finished, decode phase entered
+	lastToken     float64 // virtual time the latest token was emitted
+	genKey        chunk.ID
+	genBytes      int64 // generated-KV footprint resident in the store
+	lookups, hits int64 // its chunk-store lookup outcome at admission
 }
 
 // tenantAcc accumulates one tenant's post-warmup service statistics.
 type tenantAcc struct {
 	ttfts         []float64
+	tbts          []float64
+	e2es          []float64
+	outTokens     int64
 	lookups, hits int64
 }
 
@@ -48,20 +63,29 @@ type cluster struct {
 	cfg        Config
 	reqs       []request
 	warmup     int
+	cutoff     float64 // virtual time the warmup period ends
 	clock      *sim.Clock
 	queue      *sim.Queue[request]
 	store      *kvstore.Tiered
 	chunkBytes int64
+	tokenBytes int64   // generated KV bytes per decoded token
+	decodeUnit float64 // unbatched per-token decode step duration
+	hasDecode  bool    // some request carries a generation budget
 
-	ttfts       []float64
-	completed   int
-	lastDone    float64
-	busy        []float64
-	batchHist   metrics.Histogram
-	depthSum    float64
-	depthN      int
-	multiTenant bool
-	tenants     map[int]*tenantAcc
+	ttfts     []float64
+	tbts      []float64
+	e2es      []float64
+	outTokens int64
+	completed int
+	lastDone  float64
+	busy      []float64
+	batchHist metrics.Histogram
+	depthSum  float64
+	depthN    int
+	// post-warmup step counts by batch composition
+	stepsPrefill, stepsDecode, stepsMixed int64
+	multiTenant                           bool
+	tenants                               map[int]*tenantAcc
 }
 
 // newCluster adopts a validated, arrival-ordered request stream.
@@ -69,10 +93,20 @@ func newCluster(cfg Config, stream []workload.Request, warmup int) *cluster {
 	c := &cluster{cfg: cfg, warmup: warmup, tenants: map[int]*tenantAcc{}}
 	c.reqs = make([]request, len(stream))
 	for i, r := range stream {
-		c.reqs[i] = request{idx: i, arrival: r.Arrival, tenant: r.Tenant, ids: r.Chunks}
+		c.reqs[i] = request{idx: i, arrival: r.Arrival, tenant: r.Tenant,
+			ids: r.Chunks, decode: r.DecodeTokens}
 		if r.Tenant != 0 {
 			c.multiTenant = true
 		}
+		if r.DecodeTokens > 0 {
+			c.hasDecode = true
+		}
+	}
+	// The warmup period ends when the first measured request arrives:
+	// every metric — TTFT, throughput, batch sizes, queue depth, replica
+	// utilization, decode telemetry — applies this one cutoff.
+	if warmup < len(c.reqs) {
+		c.cutoff = c.reqs[warmup].arrival
 	}
 	return c
 }
@@ -104,6 +138,8 @@ func (c *cluster) run() Result {
 	cfg := c.cfg
 
 	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
+	c.tokenBytes = cfg.Spec.KVBytesPerToken()
+	c.decodeUnit = cfg.Spec.DecodeSecPerToken
 	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
 	defer c.store.Close()
 
@@ -114,10 +150,13 @@ func (c *cluster) run() Result {
 	c.clock.Go("arrivals", func(p *sim.Proc) {
 		for _, r := range c.reqs {
 			p.SleepUntil(r.arrival)
-			// Sample the depth each arrival finds, excluding itself
-			// (arrivals see time averages — PASTA).
-			c.depthSum += float64(c.queue.Len())
-			c.depthN++
+			// Sample the depth each post-warmup arrival finds, excluding
+			// itself (arrivals see time averages — PASTA); warmup-period
+			// arrivals are excluded like every other warmup sample.
+			if r.idx >= c.warmup {
+				c.depthSum += float64(c.queue.Len())
+				c.depthN++
+			}
 			c.queue.Push(r)
 		}
 		c.queue.Close()
@@ -138,8 +177,9 @@ func (c *cluster) run() Result {
 	}
 	res.MeanTTFT = metrics.Mean(c.ttfts)
 	res.P95TTFT = metrics.Percentile(c.ttfts, 95)
-	if c.completed > 0 && c.warmup < len(c.reqs) && c.lastDone > c.reqs[c.warmup].arrival {
-		res.Throughput = float64(c.completed) / (c.lastDone - c.reqs[c.warmup].arrival)
+	window := c.lastDone - c.cutoff
+	if c.completed > 0 && window > 0 {
+		res.Throughput = float64(c.completed) / window
 	}
 	st := c.store.Stats()
 	res.HitRate = st.HitRate()
@@ -160,7 +200,22 @@ func (c *cluster) run() Result {
 	}
 	res.ReplicaUtil = make([]float64, len(c.busy))
 	for i, b := range c.busy {
-		res.ReplicaUtil[i] = metrics.Utilization(b, end)
+		res.ReplicaUtil[i] = metrics.Utilization(b, end-c.cutoff)
+	}
+	if c.hasDecode {
+		res.MeanTBT = metrics.Mean(c.tbts)
+		res.P95TBT = metrics.Percentile(c.tbts, 95)
+		res.MeanE2E = metrics.Mean(c.e2es)
+		res.P95E2E = metrics.Percentile(c.e2es, 95)
+		res.OutputTokens = c.outTokens
+		if c.outTokens > 0 && window > 0 {
+			res.TokenThroughput = float64(c.outTokens) / window
+		}
+		if steps := c.stepsPrefill + c.stepsDecode + c.stepsMixed; steps > 0 {
+			res.PrefillStepShare = float64(c.stepsPrefill) / float64(steps)
+			res.DecodeStepShare = float64(c.stepsDecode) / float64(steps)
+			res.MixedStepShare = float64(c.stepsMixed) / float64(steps)
+		}
 	}
 	res.Tenants = c.tenantUsage()
 	return res
@@ -181,19 +236,24 @@ func (c *cluster) tenantUsage() []TenantUsage {
 	for _, id := range ids {
 		acc := c.tenants[id]
 		out = append(out, TenantUsage{
-			Tenant:   id,
-			Requests: len(acc.ttfts),
-			MeanTTFT: metrics.Mean(acc.ttfts),
-			P95TTFT:  metrics.Percentile(acc.ttfts, 95),
-			HitRate:  metrics.Ratio(acc.hits, acc.lookups),
-			Lookups:  acc.lookups,
+			Tenant:       id,
+			Requests:     len(acc.ttfts),
+			MeanTTFT:     metrics.Mean(acc.ttfts),
+			P95TTFT:      metrics.Percentile(acc.ttfts, 95),
+			HitRate:      metrics.Ratio(acc.hits, acc.lookups),
+			Lookups:      acc.lookups,
+			MeanTBT:      metrics.Mean(acc.tbts),
+			P95TBT:       metrics.Percentile(acc.tbts, 95),
+			MeanE2E:      metrics.Mean(acc.e2es),
+			OutputTokens: acc.outTokens,
 		})
 	}
 	return out
 }
 
 // replica is one worker process: it keeps a running batch, admitting from
-// the shared queue and retiring completions at step boundaries.
+// the shared queue and stepping every member — prefilling or decoding —
+// in lockstep, retiring completions at step boundaries.
 func (c *cluster) replica(p *sim.Proc, r int) {
 	var batch []*member
 	for {
@@ -217,65 +277,197 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 		}
 		// Execute one step for every member in lockstep: the longest
 		// member paces the step, each extra sequence adds the marginal
-		// batching cost.
+		// batching cost of the step's phase mix.
 		step := c.stepTime(batch)
 		p.Sleep(step)
-		c.busy[r] += step
-		c.batchHist.Observe(len(batch))
-		// Leave side: retire members whose last step just finished.
+		now := p.Now()
+		c.observeStep(batch, step, now, r)
+		// Advance every member one step; retire at phase ends.
 		live := batch[:0]
 		for _, m := range batch {
+			if !m.decoding {
+				m.remaining--
+				if m.remaining > 0 {
+					live = append(live, m)
+					continue
+				}
+				// Last prefill step: the first token is out.
+				c.firstToken(m, now)
+				if m.req.decode == 0 {
+					c.retire(m, now) // legacy prefill-only request
+					continue
+				}
+				m.decoding = true
+				m.unit = c.decodeUnit
+				m.remaining = m.req.decode
+				live = append(live, m)
+				continue
+			}
+			c.token(m, now)
 			m.remaining--
 			if m.remaining == 0 {
-				c.complete(p, m)
-			} else {
-				live = append(live, m)
+				c.retire(m, now)
+				continue
 			}
+			live = append(live, m)
 		}
 		batch = live
 	}
 }
 
-// admit computes the request's per-scheme service time against the shared
-// store's current state and splits it into chunk-boundary steps.
+// admit computes the request's per-scheme prefill service time against
+// the shared store's current state and splits it into chunk-boundary
+// steps; the decode budget rides along on the member.
 func (c *cluster) admit(req request) *member {
 	steps := len(req.ids) + 1 // one per chunk, one for the query
 	service, lookups, hits := serviceTime(c.cfg, c.store, req.ids, c.chunkBytes)
-	return &member{req: req, unit: service / float64(steps), remaining: steps,
+	m := &member{req: req, unit: service / float64(steps), remaining: steps,
 		lookups: lookups, hits: hits}
+	if req.decode > 0 {
+		m.genKey = genKey(c.cfg, req.idx)
+	}
+	return m
 }
 
-// stepTime is the virtual duration of one batched step.
+// genKey is the store key of one request's generated (decode) KV — a
+// namespace of its own, so generation growth can never alias a context
+// chunk's cache entry.
+func genKey(cfg Config, idx int) chunk.ID {
+	return chunk.Hash(cfg.Spec.Name+"/gen", []int{idx})
+}
+
+// stepTime is the virtual duration of one batched step: the longest
+// member paces it, every extra sequence adds a marginal cost. A step
+// with any prefilling member is FLOP-bound and priced with the prefill
+// batch overhead; a decode-only step runs at the engine's
+// memory-bandwidth-bound decode-step cost, whose width factor is far
+// smaller — which is exactly why decode-heavy batches sustain high token
+// throughput while a single interleaved prefill stalls every decoder in
+// the batch for a whole chunk step.
 func (c *cluster) stepTime(batch []*member) float64 {
 	longest := 0.0
+	anyPrefill := false
 	for _, m := range batch {
 		if m.unit > longest {
 			longest = m.unit
 		}
+		if !m.decoding {
+			anyPrefill = true
+		}
 	}
-	return longest * (1 + c.cfg.batchOverhead()*float64(len(batch)-1))
+	if anyPrefill {
+		return longest * (1 + c.cfg.batchOverhead()*float64(len(batch)-1))
+	}
+	return engine.DecodeStepTime(longest, len(batch), c.cfg.decodeOverhead())
 }
 
-// complete records a finished request (post-warmup only).
-func (c *cluster) complete(p *sim.Proc, m *member) {
+// observeStep records one executed step's telemetry — batch size, busy
+// time, phase composition — unless it ends inside the warmup period (one
+// cutoff for every metric, the cutoff TTFT uses).
+func (c *cluster) observeStep(batch []*member, step, now float64, r int) {
+	if now <= c.cutoff {
+		return
+	}
+	// A step straddling the cutoff only credits its post-cutoff portion:
+	// utilization's denominator starts at the cutoff, so crediting the
+	// whole step would overstate busy time (and could push it past 1).
+	if busy := now - c.cutoff; busy < step {
+		step = busy
+	}
+	c.busy[r] += step
+	c.batchHist.Observe(len(batch))
+	prefill, decode := false, false
+	for _, m := range batch {
+		if m.decoding {
+			decode = true
+		} else {
+			prefill = true
+		}
+	}
+	switch {
+	case prefill && decode:
+		c.stepsMixed++
+	case decode:
+		c.stepsDecode++
+	default:
+		c.stepsPrefill++
+	}
+}
+
+// firstToken marks the prefill→decode transition: TTFT is recorded here,
+// not at retirement, and the first token's KV lands in the shared store
+// for requests that will keep generating.
+func (c *cluster) firstToken(m *member, now float64) {
+	m.lastToken = now
+	if m.req.decode > 0 {
+		m.genBytes = c.tokenBytes
+		c.store.Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
+	}
 	if m.req.idx < c.warmup {
 		return
 	}
-	done := p.Now()
-	ttft := done - m.req.arrival
+	ttft := now - m.req.arrival
 	c.ttfts = append(c.ttfts, ttft)
-	c.completed++
-	if done > c.lastDone {
-		c.lastDone = done
-	}
 	if c.multiTenant {
-		acc := c.tenants[m.req.tenant]
-		if acc == nil {
-			acc = &tenantAcc{}
-			c.tenants[m.req.tenant] = acc
+		c.acc(m.req.tenant).ttfts = append(c.acc(m.req.tenant).ttfts, ttft)
+	}
+}
+
+// token records one decode step's emitted token: a time-between-tokens
+// sample and another token's worth of KV appended to the request's
+// growing entry in the shared store — generation competing with cached
+// chunks for the fast tiers is what makes decode-phase KV pressure real.
+func (c *cluster) token(m *member, now float64) {
+	m.genBytes += c.tokenBytes
+	c.store.Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
+	if m.req.idx >= c.warmup {
+		tbt := now - m.lastToken
+		c.tbts = append(c.tbts, tbt)
+		if c.multiTenant {
+			c.acc(m.req.tenant).tbts = append(c.acc(m.req.tenant).tbts, tbt)
 		}
-		acc.ttfts = append(acc.ttfts, ttft)
+	}
+	m.lastToken = now
+}
+
+// retire removes a finished request from the system: its generated KV is
+// released from the store, and post-warmup requests contribute their
+// completion statistics.
+func (c *cluster) retire(m *member, now float64) {
+	if m.req.decode > 0 {
+		c.store.Remove(m.genKey)
+	}
+	if m.req.idx < c.warmup {
+		return
+	}
+	c.completed++
+	if now > c.lastDone {
+		c.lastDone = now
+	}
+	var acc *tenantAcc
+	if c.multiTenant {
+		acc = c.acc(m.req.tenant)
 		acc.lookups += m.lookups
 		acc.hits += m.hits
 	}
+	if c.hasDecode {
+		e2e := now - m.req.arrival
+		tokens := int64(1 + m.req.decode)
+		c.e2es = append(c.e2es, e2e)
+		c.outTokens += tokens
+		if acc != nil {
+			acc.e2es = append(acc.e2es, e2e)
+			acc.outTokens += tokens
+		}
+	}
+}
+
+// acc returns (allocating if needed) the tenant's accumulator.
+func (c *cluster) acc(tenant int) *tenantAcc {
+	a := c.tenants[tenant]
+	if a == nil {
+		a = &tenantAcc{}
+		c.tenants[tenant] = a
+	}
+	return a
 }

@@ -1,15 +1,22 @@
 // Package serve simulates an LLM serving deployment end to end: a
 // workload-generated (or trace-replayed) request stream into a shared
 // admission queue, N replica workers with continuous batching (requests
-// join and leave a running batch at chunk-granularity step boundaries), a
-// capacity-bounded sharded KV cache store shared by all replicas, and
-// per-scheme prefill costs from the calibrated timing model. It
-// reproduces the paper's throughput study (Figure 14) — TTFT as a
-// function of request rate for CacheBlend, full KV recompute and prefix
-// caching — and extends it with the replica- and batch-scaling dimension
-// a production deployment lives in and the bursty, diurnal and
-// multi-tenant arrival patterns real RAG traffic shows
-// (internal/workload).
+// join and leave a running batch at step boundaries), a capacity-bounded
+// sharded KV cache store shared by all replicas, and per-scheme prefill
+// costs from the calibrated timing model. Requests run a two-phase
+// lifecycle: chunk-granularity prefill steps, then — when the workload
+// gives them a generation budget (workload.Request.DecodeTokens) —
+// per-token decode steps that batch with other members' prefills and
+// decodes the way a vLLM-style continuous-batching scheduler interleaves
+// them, growing the request's KV footprint in the shared store as tokens
+// are generated. It reproduces the paper's throughput study (Figure 14)
+// — TTFT as a function of request rate for CacheBlend, full KV recompute
+// and prefix caching — and extends it with the replica- and
+// batch-scaling dimension a production deployment lives in, the bursty,
+// diurnal and multi-tenant arrival patterns real RAG traffic shows
+// (internal/workload), and the decode-phase contention (TBT, end-to-end
+// latency, generation-aware KV pressure) that erodes prefill wins in
+// real deployments.
 //
 // The runtime runs on sim.Clock: every replica is a real goroutine, but
 // the virtual-time scheduler hands execution to one process at a time, so
@@ -79,8 +86,15 @@ type Config struct {
 	// sequence in a batch: a step over B requests costs the longest
 	// member step × (1 + BatchOverhead×(B−1)). Values below 1 make
 	// batching pay (amortised weight loading, cf. Figure 15c); 0 uses
-	// the default 0.35.
+	// the default 0.35. It prices prefill-paced steps — any step whose
+	// batch contains at least one prefilling member.
 	BatchOverhead float64
+	// DecodeOverhead is the marginal step-time factor of each additional
+	// sequence in a decode-only step (engine.DecodeStepTime). Decode is
+	// memory-bandwidth-bound — the batch shares one weight stream and only
+	// per-sequence KV reads scale with width — so its marginal cost is far
+	// below prefill's; 0 uses the default 0.08.
+	DecodeOverhead float64
 	// ChunkPool is the number of distinct chunks in the corpus.
 	ChunkPool int
 	// ChunksPerRequest is how many chunks each request retrieves.
@@ -115,6 +129,14 @@ func (c Config) batchOverhead() float64 {
 		return 0.35
 	}
 	return c.BatchOverhead
+}
+
+// decodeOverhead returns the effective marginal decode-step width factor.
+func (c Config) decodeOverhead() float64 {
+	if c.DecodeOverhead <= 0 {
+		return 0.08
+	}
+	return c.DecodeOverhead
 }
 
 // shards returns the effective store shard count.
@@ -178,6 +200,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("max batch %d: negative", c.MaxBatch)
 	case c.BatchOverhead < 0:
 		return fmt.Errorf("batch overhead %v: negative", c.BatchOverhead)
+	case c.DecodeOverhead < 0:
+		return fmt.Errorf("decode overhead %v: negative", c.DecodeOverhead)
 	case c.StoreShards < 0:
 		return fmt.Errorf("store shards %d: negative", c.StoreShards)
 	case c.StoreCapacity < 0:
@@ -198,7 +222,11 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Result summarises one simulated run.
+// Result summarises one simulated run. TTFT is measured at the request's
+// first token (the prefill→decode transition); the batch-size histogram,
+// queue depth, replica utilization, throughput and every decode metric
+// use the same warmup cutoff TTFT does — samples from the warmup period
+// (before the first post-warmup request arrives) are excluded everywhere.
 type Result struct {
 	Rate       float64 // offered request rate (req/s)
 	MeanTTFT   float64
@@ -208,15 +236,43 @@ type Result struct {
 	Requests   int
 	// Replicas is the replica count the run used.
 	Replicas int
-	// MeanBatch is the mean executed batch size across replica steps.
+	// MeanBatch is the mean executed batch size across post-warmup
+	// replica steps.
 	MeanBatch float64
 	// BatchSizes histograms executed batch sizes (size → step count).
 	BatchSizes map[int]int64
-	// MeanQueueDepth is the admission-queue depth each arrival found
-	// (excluding itself).
+	// MeanQueueDepth is the admission-queue depth each post-warmup
+	// arrival found (excluding itself).
 	MeanQueueDepth float64
-	// ReplicaUtil is each replica's busy fraction of the run.
+	// ReplicaUtil is each replica's busy fraction of the post-warmup run.
 	ReplicaUtil []float64
+	// Decode-phase telemetry, populated only when the stream generates
+	// output tokens (some request carries DecodeTokens > 0). Prefill-only
+	// runs leave every field below zero, keeping their Results
+	// byte-compatible with the pre-decode runtime.
+	//
+	// MeanTBT/P95TBT summarise time-between-tokens across all post-warmup
+	// decode steps: the gap between one emitted token and the next, the
+	// per-token latency a streaming client sees after the first token.
+	MeanTBT float64 `json:",omitempty"`
+	P95TBT  float64 `json:",omitempty"`
+	// MeanE2E/P95E2E summarise end-to-end request latency (arrival to
+	// last generated token).
+	MeanE2E float64 `json:",omitempty"`
+	P95E2E  float64 `json:",omitempty"`
+	// OutputTokens counts post-warmup generated tokens (first tokens
+	// included); TokenThroughput is OutputTokens per second over the
+	// measured window.
+	OutputTokens    int64   `json:",omitempty"`
+	TokenThroughput float64 `json:",omitempty"`
+	// PrefillStepShare, DecodeStepShare and MixedStepShare split the
+	// post-warmup executed steps by batch composition: all members
+	// prefilling, all decoding, or both phases interleaved (the
+	// continuous-batching contention case where decode tokens are paced
+	// by a neighbour's prefill chunk). They sum to 1.
+	PrefillStepShare float64 `json:",omitempty"`
+	DecodeStepShare  float64 `json:",omitempty"`
+	MixedStepShare   float64 `json:",omitempty"`
 	// Lookups is the total chunk-store lookup count; Misses is how many
 	// missed every tier. Sum of per-tier Hits plus Misses equals Lookups.
 	Lookups, Misses int64
@@ -244,6 +300,12 @@ type TenantUsage struct {
 	// low-skew neighbour shows up here as a depressed hit rate.
 	HitRate float64
 	Lookups int64
+	// Decode-phase telemetry, populated only for decode-enabled streams
+	// (zero and omitted otherwise, like the Result aggregates).
+	MeanTBT      float64 `json:",omitempty"`
+	P95TBT       float64 `json:",omitempty"`
+	MeanE2E      float64 `json:",omitempty"`
+	OutputTokens int64   `json:",omitempty"`
 }
 
 // TierUsage is one tier's share of a run's KV placement activity.
@@ -261,10 +323,16 @@ type TierUsage struct {
 	BytesResident int64
 }
 
-// String renders the result as a table row.
+// String renders the result as a table row; decode-enabled runs append
+// the per-token and end-to-end latency columns.
 func (r Result) String() string {
-	return fmt.Sprintf("rate=%.2f mean_ttft=%.3fs p95=%.3fs tput=%.2f hit=%.0f%% replicas=%d batch=%.1f qdepth=%.1f",
+	s := fmt.Sprintf("rate=%.2f mean_ttft=%.3fs p95=%.3fs tput=%.2f hit=%.0f%% replicas=%d batch=%.1f qdepth=%.1f",
 		r.Rate, r.MeanTTFT, r.P95TTFT, r.Throughput, r.HitRate*100, r.Replicas, r.MeanBatch, r.MeanQueueDepth)
+	if r.OutputTokens > 0 {
+		s += fmt.Sprintf(" tbt=%.3fs p95_tbt=%.3fs e2e=%.3fs tok/s=%.1f",
+			r.MeanTBT, r.P95TBT, r.MeanE2E, r.TokenThroughput)
+	}
+	return s
 }
 
 // Run simulates n requests arriving at the given Poisson rate and returns

@@ -93,7 +93,7 @@ func TestBurstsInflateTailLatency(t *testing.T) {
 func TestPerTenantStats(t *testing.T) {
 	cfg := baseConfig(baselines.CacheBlend)
 	cfg.StoreCapacity = int64(60) * cfg.Spec.KVBytes(cfg.ChunkTokens)
-	m := workload.TenantMix(3, 1.0, workload.Chunks{Pool: 150, PerRequest: 6, Skew: 0.9}, 80)
+	m := workload.TenantMix(3, 1.0, workload.Chunks{Pool: 150, PerRequest: 6, Skew: 0.9}, 80, workload.Decode{})
 	res, err := RunWorkload(cfg, m, 600, 150, 14)
 	if err != nil {
 		t.Fatal(err)

@@ -15,9 +15,12 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"t":1e-3,"chunks":[1,2,3,4,5,6]}` + "\n"))
 	f.Add([]byte("{not json\n"))
 	f.Add([]byte(`{"t":-1,"chunks":[0]}`))
+	f.Add([]byte(`{"t":0.5,"chunks":[2],"decode":40}` + "\n"))
+	f.Add([]byte(`{"t":0.5,"chunks":[2],"decode":-7}`))
 	f.Add([]byte(""))
 	var buf bytes.Buffer
-	if err := Record(&buf, Bursty{Rate: 3, Burst: 6, Chunks: Chunks{Pool: 40, PerRequest: 2, Skew: 1.1}}.Generate(30, 1)); err != nil {
+	if err := Record(&buf, Bursty{Rate: 3, Burst: 6, Chunks: Chunks{Pool: 40, PerRequest: 2, Skew: 1.1},
+		Decode: Decode{Mean: 12}}.Generate(30, 1)); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())

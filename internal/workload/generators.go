@@ -19,6 +19,9 @@ type Poisson struct {
 	// Rate is the arrival rate in requests/second.
 	Rate   float64
 	Chunks Chunks
+	// Decode samples each request's generation length (zero value =
+	// prefill-only, consuming the seed exactly as before decode existed).
+	Decode Decode
 }
 
 // Name implements Workload.
@@ -30,6 +33,9 @@ func (p Poisson) Validate() error {
 		return fmt.Errorf("poisson: rate %v: must be positive", p.Rate)
 	}
 	if err := p.Chunks.Validate(); err != nil {
+		return fmt.Errorf("poisson: %w", err)
+	}
+	if err := p.Decode.Validate(); err != nil {
 		return fmt.Errorf("poisson: %w", err)
 	}
 	return nil
@@ -44,7 +50,8 @@ func (p Poisson) Generate(n int, seed int64) []Request {
 	arrivals := sim.PoissonArrivals(g, p.Rate, n)
 	reqs := make([]Request, n)
 	for i := range reqs {
-		reqs[i] = Request{Arrival: arrivals[i], Chunks: p.Chunks.Sample(g, arrivals[i])}
+		reqs[i] = Request{Arrival: arrivals[i], Chunks: p.Chunks.Sample(g, arrivals[i]),
+			DecodeTokens: p.Decode.Sample(g)}
 	}
 	return reqs
 }
@@ -65,6 +72,8 @@ type Bursty struct {
 	// i.e. a mean of 32 requests per cycle).
 	Cycle  float64
 	Chunks Chunks
+	// Decode samples each request's generation length (zero = prefill-only).
+	Decode Decode
 }
 
 // Name implements Workload.
@@ -81,6 +90,9 @@ func (b Bursty) Validate() error {
 		return fmt.Errorf("bursty: cycle %v: negative", b.Cycle)
 	}
 	if err := b.Chunks.Validate(); err != nil {
+		return fmt.Errorf("bursty: %w", err)
+	}
+	if err := b.Decode.Validate(); err != nil {
 		return fmt.Errorf("bursty: %w", err)
 	}
 	return nil
@@ -110,7 +122,8 @@ func (b Bursty) Generate(n int, seed int64) []Request {
 			if t > end || len(reqs) == n {
 				break
 			}
-			reqs = append(reqs, Request{Arrival: t, Chunks: b.Chunks.Sample(g, t)})
+			reqs = append(reqs, Request{Arrival: t, Chunks: b.Chunks.Sample(g, t),
+				DecodeTokens: b.Decode.Sample(g)})
 		}
 		t = end
 		if meanOff > 0 {
@@ -132,6 +145,8 @@ type Diurnal struct {
 	// Period is the seconds per simulated "day" (default 64/Rate).
 	Period float64
 	Chunks Chunks
+	// Decode samples each request's generation length (zero = prefill-only).
+	Decode Decode
 }
 
 // Name implements Workload.
@@ -148,6 +163,9 @@ func (d Diurnal) Validate() error {
 		return fmt.Errorf("diurnal: period %v: negative", d.Period)
 	}
 	if err := d.Chunks.Validate(); err != nil {
+		return fmt.Errorf("diurnal: %w", err)
+	}
+	if err := d.Decode.Validate(); err != nil {
 		return fmt.Errorf("diurnal: %w", err)
 	}
 	return nil
@@ -170,7 +188,8 @@ func (d Diurnal) Generate(n int, seed int64) []Request {
 		t += expo(g, 1/peak)
 		rate := d.Rate * (1 + d.Amplitude*math.Sin(2*math.Pi*t/period))
 		if g.Float64()*peak <= rate {
-			reqs = append(reqs, Request{Arrival: t, Chunks: d.Chunks.Sample(g, t)})
+			reqs = append(reqs, Request{Arrival: t, Chunks: d.Chunks.Sample(g, t),
+				DecodeTokens: d.Decode.Sample(g)})
 		}
 	}
 	return reqs
@@ -231,9 +250,13 @@ func (m MultiTenant) Generate(n int, seed int64) []Request {
 // of the pool, per-tenant skew fans out across [0.5, 1.5]× the base skew
 // (tenant 0 most uniform, tenant k−1 most head-heavy), and odd tenants'
 // popularity rankings drift a quarter of their slice every driftPeriod
-// seconds (0 = no drift). It is the mix the serving CLI's -tenants flag
-// and the golden multi-tenant traces use.
-func TenantMix(k int, rate float64, ch Chunks, driftPeriod float64) MultiTenant {
+// seconds (0 = no drift). Per-tenant mean generation lengths fan out the
+// same way across [0.5, 1.5]× dec.Mean — tenant 0 gives terse answers,
+// tenant k−1 long ones — clamped to at least one token; Decode{} keeps
+// the whole mix prefill-only and seed-compatible with the pre-decode
+// streams. It is the mix the serving CLI's -tenants flag and the golden
+// multi-tenant traces use.
+func TenantMix(k int, rate float64, ch Chunks, driftPeriod float64, dec Decode) MultiTenant {
 	if k < 1 {
 		k = 1
 	}
@@ -243,13 +266,21 @@ func TenantMix(k int, rate float64, ch Chunks, driftPeriod float64) MultiTenant 
 		tc := ch
 		tc.Pool = slice
 		tc.Offset = ch.Offset + i*slice
+		td := dec
 		if k > 1 {
-			tc.Skew = ch.Skew * (0.5 + float64(i)/float64(k-1))
+			fan := 0.5 + float64(i)/float64(k-1)
+			tc.Skew = ch.Skew * fan
+			if dec.Mean > 0 {
+				td.Mean = dec.Mean * fan
+				if td.Mean < 1 {
+					td.Mean = 1
+				}
+			}
 		}
 		if i%2 == 1 {
 			tc.DriftPeriod = driftPeriod
 		}
-		tenants[i] = Poisson{Rate: rate / float64(k), Chunks: tc}
+		tenants[i] = Poisson{Rate: rate / float64(k), Chunks: tc, Decode: td}
 	}
 	return MultiTenant{Tenants: tenants}
 }

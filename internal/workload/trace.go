@@ -15,11 +15,15 @@ import (
 // The trace format is JSONL: one Request per line, e.g.
 //
 //	{"t":0.413,"chunks":[3,0,17]}
-//	{"t":0.878,"tenant":2,"chunks":[51,48]}
+//	{"t":0.878,"tenant":2,"chunks":[51,48],"decode":64}
 //
 // Lines are strict (unknown fields rejected), arrivals must be
 // nondecreasing, and encoding is canonical: Record(Load(Record(x)))
 // reproduces Record(x) byte for byte, which FuzzTraceRoundTrip enforces.
+// The "decode" field (the request's generation length in output tokens)
+// is optional and omitted when zero: traces recorded before decode
+// existed load unchanged and replay with the legacy prefill-only
+// behaviour, and re-recording them reproduces their bytes exactly.
 
 // Record writes a request stream as a JSONL trace.
 func Record(w io.Writer, reqs []Request) error {

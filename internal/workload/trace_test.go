@@ -10,7 +10,7 @@ import (
 
 func sampleStream(t *testing.T) []Request {
 	t.Helper()
-	reqs := TenantMix(2, 4, Chunks{Pool: 100, PerRequest: 3, Skew: 0.9}, 25).Generate(200, 2)
+	reqs := TenantMix(2, 4, Chunks{Pool: 100, PerRequest: 3, Skew: 0.9}, 25, Decode{}).Generate(200, 2)
 	if len(reqs) != 200 {
 		t.Fatalf("sample stream has %d requests", len(reqs))
 	}

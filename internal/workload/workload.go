@@ -17,7 +17,8 @@ import (
 )
 
 // Request is one serving request of a workload stream: when it arrives,
-// which tenant issued it, and which context chunks it retrieves.
+// which tenant issued it, which context chunks it retrieves, and how many
+// output tokens it generates.
 type Request struct {
 	// Arrival is the request's arrival time in seconds of virtual time.
 	Arrival float64 `json:"t"`
@@ -25,6 +26,12 @@ type Request struct {
 	Tenant int `json:"tenant,omitempty"`
 	// Chunks are the retrieved chunk ids, in prompt order.
 	Chunks []int `json:"chunks"`
+	// DecodeTokens is the request's generation length: how many decode
+	// steps it runs after its first token. 0 is the legacy prefill-only
+	// behaviour (the runtime retires the request at first token), and the
+	// field is omitted from traces, so pre-decode traces and goldens stay
+	// byte-identical.
+	DecodeTokens int `json:"decode,omitempty"`
 }
 
 // Validate reports the first structural problem with the request.
@@ -42,6 +49,9 @@ func (r Request) Validate() error {
 		if id < 0 {
 			return fmt.Errorf("chunk %d: negative id %d", i, id)
 		}
+	}
+	if r.DecodeTokens < 0 {
+		return fmt.Errorf("decode tokens %d: negative", r.DecodeTokens)
 	}
 	return nil
 }
@@ -119,6 +129,55 @@ func (c Chunks) Sample(g *tensor.RNG, at float64) []int {
 		ids[j] = c.Offset + r
 	}
 	return ids
+}
+
+// Decode describes how a stream samples each request's generation length
+// (the DecodeTokens carried on every Request). The zero value disables
+// decode entirely: no request gets a decode budget and — critically — no
+// randomness is consumed, so a generator with Decode{} yields the exact
+// byte-identical stream it yielded before decode existed.
+type Decode struct {
+	// Mean is the mean generation length in output tokens; 0 disables
+	// decode (the legacy prefill-only stream).
+	Mean float64
+	// Deterministic emits exactly round(Mean) tokens per request instead
+	// of a geometric draw — useful for exact-latency tests and sweeps.
+	Deterministic bool
+}
+
+// Validate reports the first degenerate decode parameter.
+func (d Decode) Validate() error {
+	if math.IsNaN(d.Mean) || math.IsInf(d.Mean, 0) || d.Mean < 0 {
+		return fmt.Errorf("decode mean %v: must be finite and non-negative", d.Mean)
+	}
+	return nil
+}
+
+// Sample draws one request's generation length. Geometric on {1, 2, …}
+// with mean Mean (the empirical shape of output lengths: many short
+// answers, a long tail), consuming exactly one uniform draw. On both
+// branches a positive mean below one token clamps to a constant one
+// token. Mean 0 returns 0 without touching g, preserving pre-decode
+// streams bit for bit.
+func (d Decode) Sample(g *tensor.RNG) int {
+	if d.Mean <= 0 {
+		return 0
+	}
+	if d.Deterministic {
+		if d.Mean < 1 {
+			return 1
+		}
+		return int(d.Mean + 0.5)
+	}
+	u := g.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	if d.Mean <= 1 {
+		return 1
+	}
+	// 1 + Geometric(p) on {0,1,…} with p = 1/Mean has mean exactly Mean.
+	return 1 + int(math.Log(u)/math.Log(1-1/d.Mean))
 }
 
 // expo draws an exponential sample with the given mean.

@@ -69,7 +69,7 @@ func TestGeneratorsCommonProperties(t *testing.T) {
 		Poisson{Rate: rate, Chunks: ch},
 		Bursty{Rate: rate, Burst: 8, Chunks: ch},
 		Diurnal{Rate: rate, Amplitude: 0.8, Chunks: ch},
-		TenantMix(4, rate, ch, 50),
+		TenantMix(4, rate, ch, 50, Decode{}),
 	}
 	for _, w := range cases {
 		t.Run(w.Name(), func(t *testing.T) {
@@ -157,7 +157,7 @@ func TestDiurnalRateCurve(t *testing.T) {
 // TestMultiTenantMerge: tenants are stamped, the merge is
 // arrival-ordered, and every tenant appears across the whole span.
 func TestMultiTenantMerge(t *testing.T) {
-	m := TenantMix(3, 6, Chunks{Pool: 300, PerRequest: 4, Skew: 0.8}, 0)
+	m := TenantMix(3, 6, Chunks{Pool: 300, PerRequest: 4, Skew: 0.8}, 0, Decode{})
 	const n = 3000
 	reqs := m.Generate(n, 8)
 	if len(reqs) != n {
@@ -224,7 +224,7 @@ func TestMultiTenantDoesNotMutateSubStreams(t *testing.T) {
 // TestTenantMixSkewFansOut: higher-index tenants get heavier-headed
 // popularity — their top decile of the slice draws a larger share.
 func TestTenantMixSkewFansOut(t *testing.T) {
-	m := TenantMix(3, 6, Chunks{Pool: 300, PerRequest: 4, Skew: 0.8}, 0)
+	m := TenantMix(3, 6, Chunks{Pool: 300, PerRequest: 4, Skew: 0.8}, 0, Decode{})
 	reqs := m.Generate(9000, 11)
 	headShare := func(tenant int) float64 {
 		head, total := 0, 0

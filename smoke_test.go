@@ -160,6 +160,80 @@ func TestServeCLITraceRecordReplay(t *testing.T) {
 	}
 }
 
+// TestServeCLIDeterministic is the CLI determinism acceptance: the same
+// flags and -seed must print byte-identical output across two runs — the
+// whole output, result lines, telemetry and all.
+func TestServeCLIDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	args := []string{"run", "./cmd/cacheblend-serve",
+		"-replicas", "2", "-batch", "4", "-decode", "12", "-n", "200",
+		"-rates", "1", "-seed", "7", "-v"}
+	a := goTool(t, args...)
+	b := goTool(t, args...)
+	if a != b {
+		t.Fatalf("same seed printed different output:\n--- first\n%s--- second\n%s", a, b)
+	}
+	// A different seed must not reproduce the same result lines.
+	args[len(args)-2] = "8"
+	if c := goTool(t, args...); c == a {
+		t.Fatal("different -seed reproduced identical output — seed ignored")
+	}
+}
+
+// TestServeCLIDecodeSmoke drives the decode flags end to end and checks
+// the TBT/E2E columns and phase-occupancy telemetry reach the output; the
+// fixed distribution and a bad distribution name are covered too.
+func TestServeCLIDecodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	out := goTool(t, "run", "./cmd/cacheblend-serve",
+		"-decode", "16", "-batch", "4", "-rates", "1", "-n", "200", "-v")
+	for _, w := range []string{"decode=16", "tbt=", "e2e=", "tok/s=", "steps prefill="} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("decode serve CLI output missing %q:\n%s", w, out)
+		}
+	}
+	out = goTool(t, "run", "./cmd/cacheblend-serve",
+		"-decode", "8", "-decode-dist", "fixed", "-rates", "1", "-n", "150")
+	if !strings.Contains(out, "tbt=") {
+		t.Fatalf("fixed-dist decode output missing tbt:\n%s", out)
+	}
+	if out, err := goToolErr(t, "run", "./cmd/cacheblend-serve",
+		"-decode", "8", "-decode-dist", "zipf", "-rates", "1"); err == nil {
+		t.Fatalf("unknown -decode-dist accepted:\n%s", out)
+	}
+}
+
+// TestServeCLITraceRejectsWorkloadFlag: -trace fixes the request stream,
+// so combining it with an explicit -workload must fail with a clear error
+// instead of silently ignoring one of the two.
+func TestServeCLITraceRejectsWorkloadFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	goTool(t, "run", "./cmd/cacheblend-serve", "-rates", "1", "-n", "100", "-record", trace)
+	out, err := goToolErr(t, "run", "./cmd/cacheblend-serve", "-trace", trace, "-workload", "bursty")
+	if err == nil {
+		t.Fatalf("-trace with -workload accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "cannot be combined with -workload") {
+		t.Fatalf("rejection message unclear:\n%s", out)
+	}
+	// -decode flags are baked into the recorded stream too.
+	out, err = goToolErr(t, "run", "./cmd/cacheblend-serve", "-trace", trace, "-decode", "32")
+	if err == nil || !strings.Contains(out, "-decode") {
+		t.Fatalf("-trace with -decode accepted or message unclear:\n%s", out)
+	}
+	// -trace alone still works.
+	if out := goTool(t, "run", "./cmd/cacheblend-serve", "-trace", trace); !strings.Contains(out, "mean_ttft") {
+		t.Fatalf("plain -trace replay broken:\n%s", out)
+	}
+}
+
 // TestServeCLITieredSmoke drives the serving CLI with a three-tier KV
 // placement and checks the per-tier telemetry reaches the output.
 func TestServeCLITieredSmoke(t *testing.T) {
