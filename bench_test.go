@@ -362,6 +362,38 @@ func BenchmarkServeDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkServeSched runs the decode-heavy bursty scenario under each
+// scheduling policy, reporting p95 TBT — the policy counterpart of
+// BenchmarkServeDecode. Chunked prefill runs many more (much shorter)
+// steps per request, so this also tracks the budgeted scheduler's own
+// simulation cost.
+func BenchmarkServeSched(b *testing.B) {
+	cfg := serve.Config{
+		Spec: timing.Mistral7B, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Device: device.NVMeSSD, MaxBatch: 8, ChunkPool: 500, ChunksPerRequest: 6,
+		ChunkTokens: 512, QueryTokens: 32, Skew: 0.8,
+	}
+	w := workload.Bursty{Rate: 0.5, Burst: 8,
+		Chunks: workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew},
+		Decode: workload.Decode{Mean: 64}}
+	for _, sched := range []string{serve.SchedFIFO, serve.SchedChunkedPrefill, serve.SchedDecodePriority} {
+		sched := sched
+		b.Run(sched, func(b *testing.B) {
+			c := cfg
+			c.Sched = sched
+			var p95 float64
+			for i := 0; i < b.N; i++ {
+				res, err := serve.RunWorkload(c, w, 300, 75, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p95 = res.P95TBT
+			}
+			b.ReportMetric(p95*1000, "p95-tbt-ms")
+		})
+	}
+}
+
 // ---- Ablation benches (DESIGN.md design-choice list) ---------------------
 
 func BenchmarkAblationGradualFilterOn(b *testing.B) {

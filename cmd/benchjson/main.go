@@ -1,0 +1,120 @@
+// Command benchjson parses `go test -bench` text output from stdin into
+// a stable JSON document on stdout, so CI can upload the per-benchmark
+// numbers as an artifact (BENCH_pr.json) instead of discarding them in
+// the job log. One entry per benchmark, keyed by its full sub-benchmark
+// name with the -cpu suffix stripped:
+//
+//	{
+//	  "BenchmarkServeSched/chunked-prefill": {
+//	    "iterations": 1,
+//	    "ns_per_op": 13392991,
+//	    "metrics": {"p95-tbt-ms": 41.75}
+//	  }
+//	}
+//
+// Non-benchmark lines (pass/fail, package headers, cpu banner) are
+// ignored, so the raw `go test` stream pipes straight in:
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson > BENCH_pr.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	// Iterations is b.N, the measured iteration count.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline nanoseconds per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds the remaining value/unit pairs: B/op, allocs/op and
+	// any b.ReportMetric custom units (absent when the line has none).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	blob, err := json.MarshalIndent(out, "", "  ") // map keys marshal sorted
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(blob))
+}
+
+// Parse extracts every benchmark result line from r. A duplicate name
+// (the same benchmark run in several packages, or -count > 1) keeps the
+// last occurrence.
+func Parse(r io.Reader) (map[string]Bench, error) {
+	out := map[string]Bench{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, b, ok := parseLine(sc.Text())
+		if ok {
+			out[name] = b
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine parses one `BenchmarkName-8  N  V ns/op  [V unit]...` line;
+// ok is false for anything that isn't a benchmark result.
+func parseLine(line string) (string, Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Bench{}, false
+	}
+	name := fields[0]
+	// Strip the GOMAXPROCS suffix (Benchmark/sub-8 → Benchmark/sub) so
+	// keys compare across runner shapes.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Bench{}, false
+	}
+	b := Bench{Iterations: iters}
+	seenNs := false
+	// The rest is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Bench{}, false
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+			seenNs = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if !seenNs {
+		return "", Bench{}, false
+	}
+	return name, b, true
+}

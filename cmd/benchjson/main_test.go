@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkServeReplicas/r1-8         	       3	 401234567 ns/op
+BenchmarkServeSched/fifo-8          	       1	  12294749 ns/op	       128.7 p95-tbt-ms
+BenchmarkServeSched/chunked-prefill-8         	       1	  13392991 ns/op	        41.75 p95-tbt-ms
+BenchmarkFuse-8   	      10	 104857600 ns/op	 5242880 B/op	    1024 allocs/op
+PASS
+ok  	repro	2.345s
+?   	repro/cmd/cacheblend	[no test files]
+--- BENCH: BenchmarkOdd
+    some free-form log line
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	r1 := got["BenchmarkServeReplicas/r1"]
+	if r1.Iterations != 3 || r1.NsPerOp != 401234567 || r1.Metrics != nil {
+		t.Fatalf("r1 parsed wrong: %+v", r1)
+	}
+	sched := got["BenchmarkServeSched/chunked-prefill"]
+	if sched.NsPerOp != 13392991 || sched.Metrics["p95-tbt-ms"] != 41.75 {
+		t.Fatalf("sched parsed wrong: %+v", sched)
+	}
+	fuse := got["BenchmarkFuse"]
+	if fuse.Metrics["B/op"] != 5242880 || fuse.Metrics["allocs/op"] != 1024 {
+		t.Fatalf("fuse memory metrics parsed wrong: %+v", fuse)
+	}
+}
+
+func TestParseRejectsNonBenchLines(t *testing.T) {
+	got, err := Parse(strings.NewReader("PASS\nok repro 1.2s\nBenchmarkBroken 3 x ns/op\nBenchmarkNoNs-8 5 12 widgets\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("accepted malformed lines: %v", got)
+	}
+}

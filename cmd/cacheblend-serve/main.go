@@ -13,6 +13,8 @@
 //	cacheblend-serve -tenants 3 -rates 1 -v
 //	cacheblend-serve -decode 64 -batch 8 -rates 0.5 -v
 //	cacheblend-serve -decode 32 -decode-dist fixed -rates 1
+//	cacheblend-serve -sched chunked-prefill -prefill-budget 128 -decode 64 -batch 8 -rates 0.5 -v
+//	cacheblend-serve -sched decode-priority -decode 64 -batch 8 -rates 0.5 -v
 //	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
 //	cacheblend-serve -trace run.jsonl     # bit-identical replay
 package main
@@ -46,6 +48,8 @@ func main() {
 		chunkTok  = flag.Int("chunk-tokens", 512, "tokens per chunk")
 		replicas  = flag.Int("replicas", 1, "model replicas pulling from the shared queue")
 		batch     = flag.Int("batch", 1, "continuous-batching cap per replica step")
+		sched     = flag.String("sched", "", "scheduling policy (fifo, chunked-prefill, decode-priority, slo); empty = legacy FIFO without scheduling telemetry")
+		budget    = flag.Int("prefill-budget", 0, "chunked-prefill per-step prefill token budget (0 = default 256; requires -sched chunked-prefill)")
 		shards    = flag.Int("shards", 0, "KV store shards (0 = default)")
 		n         = flag.Int("n", 1500, "requests per rate point")
 		seed      = flag.Int64("seed", 42, "workload seed")
@@ -95,6 +99,8 @@ func main() {
 		StoreShards:      *shards,
 		Replicas:         *replicas,
 		MaxBatch:         *batch,
+		Sched:            *sched,
+		PrefillBudget:    *budget,
 		ChunkPool:        *pool,
 		ChunksPerRequest: *chunks,
 		ChunkTokens:      *chunkTok,
@@ -116,6 +122,10 @@ func main() {
 	if len(cfg.Tiers) > 0 {
 		placement = *tiersSpec
 	}
+	schedName := *sched
+	if schedName == "" {
+		schedName = "fifo" // the legacy default (scheduling telemetry off)
+	}
 
 	// Trace replay: the recorded stream fixes arrivals, tenants and chunk
 	// ids, so rates/workload flags don't apply and the run reproduces the
@@ -125,8 +135,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("model=%s scheme=%s placement=%s workload=%s requests=%d replicas=%d batch-cap=%d\n",
-			spec.Name, cfg.Scheme, placement, tr.Name(), len(tr.Reqs), *replicas, *batch)
+		fmt.Printf("model=%s scheme=%s placement=%s workload=%s requests=%d replicas=%d batch-cap=%d sched=%s\n",
+			spec.Name, cfg.Scheme, placement, tr.Name(), len(tr.Reqs), *replicas, *batch, schedName)
 		res, err := serve.RunWorkload(cfg, tr, len(tr.Reqs), len(tr.Reqs)/3, *seed)
 		if err != nil {
 			fatal(err)
@@ -152,8 +162,8 @@ func main() {
 		fatal(fmt.Errorf("-record needs exactly one rate, got %d", len(rates)))
 	}
 
-	fmt.Printf("model=%s scheme=%s placement=%s workload=%s tenants=%d decode=%g pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d\n",
-		spec.Name, cfg.Scheme, placement, *workloadName, *tenants, *decodeMean, *pool, *chunks, *chunkTok, *replicas, *batch)
+	fmt.Printf("model=%s scheme=%s placement=%s workload=%s tenants=%d decode=%g pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d sched=%s\n",
+		spec.Name, cfg.Scheme, placement, *workloadName, *tenants, *decodeMean, *pool, *chunks, *chunkTok, *replicas, *batch, schedName)
 	for _, rate := range rates {
 		w, err := buildWorkload(*workloadName, rate, *burst, *amplitude, *tenants, dec, cfg)
 		if err != nil {
@@ -230,6 +240,10 @@ func printResult(res serve.Result, verbose bool) {
 	if res.OutputTokens > 0 {
 		fmt.Printf("  steps prefill=%.0f%% decode=%.0f%% mixed=%.0f%%\n",
 			res.PrefillStepShare*100, res.DecodeStepShare*100, res.MixedStepShare*100)
+	}
+	if res.StallTime > 0 || res.MeanPrefillDelay > 0 {
+		fmt.Printf("  sched stall=%.1fs prefill-delay=%.3fs p95=%.3fs\n",
+			res.StallTime, res.MeanPrefillDelay, res.P95PrefillDelay)
 	}
 }
 

@@ -268,6 +268,30 @@ func DecodeStepTime(perToken float64, width int, marginal float64) float64 {
 	return perToken * (1 + marginal*float64(width-1))
 }
 
+// ChunkedStepTime is the analytic cost of one budgeted mixed step — the
+// Sarathi-style iteration a chunked-prefill scheduler runs: a bounded
+// prefill slice (the longest prefilling member's share of the step's
+// token budget, `slice` seconds) piggybacked on the batch's decode
+// tokens. Whichever of the slice and the decode token is longer paces
+// the step; each prefilling member beyond the pacing one adds the
+// FLOP-bound prefill marginal and each decoding member the far smaller
+// memory-bound decode marginal. With no prefiller the step is exactly
+// DecodeStepTime; with no decoder it is a budgeted prefill batch. As
+// long as the budget keeps the slice at or below a whole chunk's step,
+// a budgeted mixed step never exceeds the unbudgeted one — the decoders
+// it carries run near decode cadence instead of being stalled for the
+// full chunk, which is the head-of-line blocking the policy removes.
+func ChunkedStepTime(slice, decodeUnit float64, prefillers, decoders int, prefillMarginal, decodeMarginal float64) float64 {
+	if prefillers <= 0 {
+		return DecodeStepTime(decodeUnit, decoders, decodeMarginal)
+	}
+	pace := slice
+	if decoders > 0 && decodeUnit > pace {
+		pace = decodeUnit
+	}
+	return pace * (1 + prefillMarginal*float64(prefillers-1) + decodeMarginal*float64(decoders))
+}
+
 func allIdx(n int) []int {
 	idx := make([]int, n)
 	for i := range idx {

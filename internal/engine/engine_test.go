@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -270,6 +271,48 @@ func TestPipelineTimeClosedForm(t *testing.T) {
 		if got := PipelineTime(c.layers, c.load, c.comp); got != c.want {
 			t.Fatalf("%s: PipelineTime(%d, %v, %v) = %v, want %v",
 				c.name, c.layers, c.load, c.comp, got, c.want)
+		}
+	}
+}
+
+func TestChunkedStepTimeModel(t *testing.T) {
+	const pm, dm = 0.35, 0.08
+	// No prefiller: exactly the decode-step cost.
+	if got, want := ChunkedStepTime(0, 0.025, 0, 4, pm, dm), DecodeStepTime(0.025, 4, dm); got != want {
+		t.Fatalf("decode-only: %v, want %v", got, want)
+	}
+	// No decoder: a budgeted prefill batch — slice paced, prefill marginal.
+	if got, want := ChunkedStepTime(0.1, 0, 3, 0, pm, dm), 0.1*(1+pm*2); got != want {
+		t.Fatalf("prefill-only: %v, want %v", got, want)
+	}
+	// Pace is whichever of slice and decode token is longer.
+	if got, want := ChunkedStepTime(0.01, 0.025, 1, 2, pm, dm), 0.025*(1+dm*2); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("decode-paced mixed step: %v, want %v", got, want)
+	}
+	if got, want := ChunkedStepTime(0.1, 0.025, 1, 2, pm, dm), 0.1*(1+dm*2); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("slice-paced mixed step: %v, want %v", got, want)
+	}
+	// Monotone in both width dimensions, and decoders are far cheaper to
+	// add than prefillers (memory-bound vs FLOP-bound marginals).
+	base := ChunkedStepTime(0.1, 0.025, 2, 3, pm, dm)
+	if ChunkedStepTime(0.1, 0.025, 3, 3, pm, dm) <= base ||
+		ChunkedStepTime(0.1, 0.025, 2, 4, pm, dm) <= base {
+		t.Fatal("adding a member of either phase must lengthen the step")
+	}
+	dp := ChunkedStepTime(0.1, 0.025, 2, 4, pm, dm) - base
+	pp := ChunkedStepTime(0.1, 0.025, 3, 3, pm, dm) - base
+	if dp >= pp {
+		t.Fatalf("marginal decoder %v not cheaper than marginal prefiller %v", dp, pp)
+	}
+	// The Sarathi claim the serving policy relies on: with the slice
+	// bounded below the whole-chunk step, the budgeted mixed step never
+	// exceeds the unbudgeted one (legacy prices every member with the
+	// prefill marginal at the whole-chunk pace).
+	for _, width := range []int{2, 4, 8} {
+		legacy := 0.15 * (1 + pm*float64(width-1))
+		budgeted := ChunkedStepTime(0.05, 0.025, 1, width-1, pm, dm)
+		if budgeted >= legacy {
+			t.Fatalf("width %d: budgeted mixed step %v not below whole-chunk step %v", width, budgeted, legacy)
 		}
 	}
 }

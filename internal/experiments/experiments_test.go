@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -269,6 +269,52 @@ func TestDecodeSweepShape(t *testing.T) {
 	r256 := get("full-recompute", "256", "e2e/tok(s)") / get("cacheblend", "256", "e2e/tok(s)")
 	if r256 >= r16 {
 		t.Fatalf("normalized-latency gap widened with generation length: %.2f× at 16 vs %.2f× at 256", r16, r256)
+	}
+}
+
+// TestSchedSweepShape is the scheduling-policy acceptance check: on the
+// bursty workload, chunked prefill must cut P95 TBT against FIFO at
+// equal completed throughput (the gain comes from removing stall, not
+// from shedding load), with the StallTime column collapsing accordingly;
+// decode-priority must pay for its (milder) TBT relief with a higher
+// prefill delay than FIFO's.
+func TestSchedSweepShape(t *testing.T) {
+	tab := SchedSweep(400)
+	if len(tab.Rows) != 3*3 {
+		t.Fatalf("want 9 rows (3 policies × 3 workloads), got %d", len(tab.Rows))
+	}
+	get := func(policy, load, col string) float64 {
+		for i, row := range tab.Rows {
+			if row[0] == policy && row[1] == load {
+				return num(t, cell(t, tab, i, col))
+			}
+		}
+		t.Fatalf("row %s/%s missing", policy, load)
+		return 0
+	}
+	for _, load := range []string{"bursty×4", "bursty×16"} {
+		fifoTBT := get("fifo", load, "p95-tbt(s)")
+		chunkTBT := get("chunked-prefill", load, "p95-tbt(s)")
+		if chunkTBT >= 0.7*fifoTBT {
+			t.Fatalf("%s: chunked-prefill p95 TBT %.4f not well below FIFO's %.4f", load, chunkTBT, fifoTBT)
+		}
+		fifoTput := get("fifo", load, "tput(req/s)")
+		chunkTput := get("chunked-prefill", load, "tput(req/s)")
+		if chunkTput < 0.95*fifoTput {
+			t.Fatalf("%s: chunked-prefill throughput %.3f fell below FIFO's %.3f — TBT win must come at equal throughput",
+				load, chunkTput, fifoTput)
+		}
+		if stall := get("chunked-prefill", load, "stall(s)"); stall >= get("fifo", load, "stall(s)")/2 {
+			t.Fatalf("%s: chunked-prefill stall %.1fs not well below FIFO's %.1fs",
+				load, stall, get("fifo", load, "stall(s)"))
+		}
+	}
+	// Decode-priority trades prefill delay for decoder relief.
+	if dp, fifo := get("decode-priority", "bursty×16", "prefill-delay(s)"), get("fifo", "bursty×16", "prefill-delay(s)"); dp <= fifo {
+		t.Fatalf("decode-priority prefill delay %.3f should exceed FIFO's %.3f (that is the trade)", dp, fifo)
+	}
+	if dp, fifo := get("decode-priority", "bursty×16", "mean-tbt(s)"), get("fifo", "bursty×16", "mean-tbt(s)"); dp > fifo {
+		t.Fatalf("decode-priority mean TBT %.4f above FIFO's %.4f — deferring prefills bought nothing", dp, fifo)
 	}
 }
 

@@ -50,6 +50,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{BurstSweep(o.Requests)} }},
 		{"decode", "TTFT vs TBT as generation length grows (decode-phase continuous batching)",
 			func(o RunOpts) []*Table { return []*Table{DecodeSweep(o.Requests)} }},
+		{"sched", "scheduling policies vs burstiness: chunked prefill and decode-priority admission",
+			func(o RunOpts) []*Table { return []*Table{SchedSweep(o.Requests)} }},
 	}
 }
 

@@ -32,6 +32,11 @@ type goldenCase struct {
 	// subsystem and double as its seed-compatibility check), "bursty" and
 	// "multi-tenant" go through RunWorkload.
 	Workload string
+	// Sched selects the scheduling policy ("" = the legacy default; the
+	// policy cases lock the chunked-prefill and decode-priority
+	// schedules and their StallTime/PrefillDelay telemetry down the way
+	// the legacy cases lock FIFO).
+	Sched string
 }
 
 func goldenCases() []goldenCase {
@@ -67,6 +72,26 @@ func goldenCases() []goldenCase {
 				name += "/" + wl + "/seed" + strconv.FormatInt(seed, 10)
 				cases = append(cases, goldenCase{Name: name, Scheme: baselines.CacheBlend,
 					Replicas: 2, Tiered: tiered, Seed: seed, Workload: wl})
+			}
+		}
+	}
+	// Scheduling-policy cases on the decode workload (mixed batches are
+	// where the policies differ): explicit fifo locks the scheduling
+	// telemetry over the legacy schedule, chunked-prefill locks the
+	// budgeted token-granularity stepping, decode-priority the deferred
+	// admission with its aging bound.
+	for _, sched := range []string{SchedFIFO, SchedChunkedPrefill, SchedDecodePriority} {
+		for _, tiered := range []bool{false, true} {
+			for _, seed := range []int64{1, 7} {
+				name := "cacheblend/r2/"
+				if tiered {
+					name += "tiered"
+				} else {
+					name += "flat"
+				}
+				name += "/decode/" + sched + "/seed" + strconv.FormatInt(seed, 10)
+				cases = append(cases, goldenCase{Name: name, Scheme: baselines.CacheBlend,
+					Replicas: 2, Tiered: tiered, Seed: seed, Workload: "decode", Sched: sched})
 			}
 		}
 	}
@@ -110,6 +135,7 @@ func (gc goldenCase) config() Config {
 		Device:           device.NVMeSSD,
 		Replicas:         gc.Replicas,
 		MaxBatch:         3,
+		Sched:            gc.Sched,
 		ChunkPool:        150,
 		ChunksPerRequest: 6,
 		ChunkTokens:      512,
@@ -185,9 +211,16 @@ func TestGoldenTraceReplay(t *testing.T) {
 // must agree bit-for-bit — the property the golden file relies on — for
 // the legacy Poisson path and for each workload-generated path.
 func TestGoldenReplayDeterministic(t *testing.T) {
+	var cases []goldenCase
 	for _, wl := range []string{"", "bursty", "multi-tenant", "decode", "decode-tenants"} {
-		gc := goldenCase{Name: "det/" + wl, Scheme: baselines.CacheBlend,
-			Replicas: 4, Tiered: true, Seed: 3, Workload: wl}
+		cases = append(cases, goldenCase{Name: "det/" + wl, Scheme: baselines.CacheBlend,
+			Replicas: 4, Tiered: true, Seed: 3, Workload: wl})
+	}
+	for _, sched := range []string{SchedChunkedPrefill, SchedDecodePriority} {
+		cases = append(cases, goldenCase{Name: "det/" + sched, Scheme: baselines.CacheBlend,
+			Replicas: 4, Tiered: true, Seed: 3, Workload: "decode", Sched: sched})
+	}
+	for _, gc := range cases {
 		a, _ := json.Marshal(gc.run(t))
 		b, _ := json.Marshal(gc.run(t))
 		if string(a) != string(b) {

@@ -1,0 +1,157 @@
+// The pluggable scheduling-policy layer: a Policy controls the two
+// decisions the replica loop makes at every step boundary — how many
+// waiting requests may join the running batch (admission), and how much
+// prefill work a step may spend (the per-step prefill token budget).
+// The decode-phase telemetry from the decode refactor exposed the
+// head-of-line blocking FIFO admission causes: any prefilling member
+// paces every decoder in the batch for a whole chunk step, so one
+// joining request inflates its neighbours' TBT by an order of
+// magnitude. The policies here remove that blocking two different ways
+// — Sarathi-style chunked prefill bounds the prefill slice a mixed step
+// may run, decode-priority admission holds prefills at the door while
+// the batch is decoding (with an aging bound so prefill delay stays
+// finite at overload) — and the StallTime/PrefillDelay metrics in
+// Result quantify what each removes.
+package serve
+
+import "fmt"
+
+// Scheduling policy names accepted by Config.Sched.
+const (
+	// SchedFIFO is the legacy policy: admit waiting requests whenever
+	// the batch has room, run prefill in whole-chunk steps. An empty
+	// Config.Sched selects it too (bit-identical to the pre-policy
+	// runtime; naming it explicitly additionally populates the
+	// scheduling telemetry in Result).
+	SchedFIFO = "fifo"
+	// SchedChunkedPrefill admits FIFO but caps the prefill tokens a
+	// step may spend at Config.PrefillBudget, splitting a joining
+	// request's prefill across steps so resident decoders keep emitting
+	// tokens at near-decode cadence (Sarathi-style stall-free batching).
+	SchedChunkedPrefill = "chunked-prefill"
+	// SchedDecodePriority defers admitting new prefill work while any
+	// batch member is decoding, admitting one aged request after
+	// Config.StarveLimit consecutive deferred step boundaries so
+	// prefill delay stays finite at overload.
+	SchedDecodePriority = "decode-priority"
+	// SchedSLO is a stub for SLO-aware admission: it behaves like FIFO
+	// today and reserves the name for per-tenant SLO targets (see the
+	// ROADMAP closed-loop item), so configs and traces can already pin
+	// the policy axis.
+	SchedSLO = "slo"
+)
+
+// Policy controls how a replica schedules its running batch. Every
+// method must be pure: the runtime is a deterministic simulation, so a
+// policy may not sample randomness or keep mutable state of its own.
+type Policy interface {
+	// Name identifies the policy in telemetry and errors.
+	Name() string
+	// AdmitQuota returns how many waiting requests the replica may
+	// admit at this step boundary, given the batch's phase composition
+	// (prefillers/decoders), the batch-cap headroom, and how many
+	// consecutive boundaries admission has already been deferred while
+	// work waited. The runtime clamps the quota to [0, headroom]; an
+	// idle replica (empty batch) always admits its first request
+	// directly from the shared queue, bypassing the quota.
+	AdmitQuota(prefillers, decoders, headroom, deferred int) int
+	// PrefillBudget returns the per-step prefill token budget shared by
+	// the batch's prefilling members, 0 meaning whole-chunk steps (the
+	// legacy granularity).
+	PrefillBudget() int
+}
+
+// fifoPolicy is the legacy scheduler: greedy admission, no budget.
+type fifoPolicy struct{}
+
+func (fifoPolicy) Name() string                  { return SchedFIFO }
+func (fifoPolicy) AdmitQuota(_, _, h, _ int) int { return h }
+func (fifoPolicy) PrefillBudget() int            { return 0 }
+
+// chunkedPolicy admits greedily but bounds per-step prefill work: the
+// budget — not the door — is what protects decoders.
+type chunkedPolicy struct{ budget int }
+
+func (chunkedPolicy) Name() string                  { return SchedChunkedPrefill }
+func (chunkedPolicy) AdmitQuota(_, _, h, _ int) int { return h }
+func (p chunkedPolicy) PrefillBudget() int          { return p.budget }
+
+// decodePriorityPolicy holds prefill admission while the batch decodes,
+// with an aging bound: after starve consecutive deferred boundaries it
+// admits one request regardless, so no prefill waits forever.
+type decodePriorityPolicy struct{ starve int }
+
+func (decodePriorityPolicy) Name() string { return SchedDecodePriority }
+func (p decodePriorityPolicy) AdmitQuota(prefillers, decoders, headroom, deferred int) int {
+	if decoders == 0 {
+		return headroom
+	}
+	if deferred >= p.starve {
+		return 1 // aged: admit one even over active decoders
+	}
+	return 0
+}
+func (decodePriorityPolicy) PrefillBudget() int { return 0 }
+
+// sloPolicy is the SLO-aware stub: FIFO behaviour under a reserved name.
+type sloPolicy struct{}
+
+func (sloPolicy) Name() string                  { return SchedSLO }
+func (sloPolicy) AdmitQuota(_, _, h, _ int) int { return h }
+func (sloPolicy) PrefillBudget() int            { return 0 }
+
+// policy constructs the configured scheduling policy. Call after
+// Validate: unknown names panic here.
+func (c Config) policy() Policy {
+	switch c.Sched {
+	case "", SchedFIFO:
+		return fifoPolicy{}
+	case SchedChunkedPrefill:
+		return chunkedPolicy{budget: c.prefillBudget()}
+	case SchedDecodePriority:
+		return decodePriorityPolicy{starve: c.starveLimit()}
+	case SchedSLO:
+		return sloPolicy{}
+	}
+	panic(fmt.Sprintf("serve: unknown scheduling policy %q", c.Sched))
+}
+
+// schedMetrics reports whether the run populates the scheduling
+// telemetry (StallTime, prefill-delay percentiles) in Result. Gated on
+// an explicit policy so legacy Results — goldens included — stay
+// byte-identical under the default configuration.
+func (c Config) schedMetrics() bool { return c.Sched != "" }
+
+// allocPrefill grants this step's prefill token slices in batch
+// (admission) order under a shared budget: the oldest prefilling member
+// drains first, the next takes what is left. It writes each prefilling
+// member's slice field (0 = resident but idle this step) and returns
+// how many members prefill this step, how many decode, and the longest
+// granted slice's duration. A positive budget always grants the oldest
+// prefiller at least one token, so a batch with prefill work can never
+// stall; slices never exceed a member's remaining tokens, so tokens are
+// never double-counted.
+func allocPrefill(batch []*member, budget int) (prefillers, decoders int, longest float64) {
+	left := budget
+	for _, m := range batch {
+		if m.decoding {
+			decoders++
+			continue
+		}
+		m.slice = 0
+		if left <= 0 {
+			continue
+		}
+		grant := m.prefTotal - m.prefDone
+		if grant > left {
+			grant = left
+		}
+		m.slice = grant
+		left -= grant
+		prefillers++
+		if t := float64(grant) * m.perTok; t > longest {
+			longest = t
+		}
+	}
+	return prefillers, decoders, longest
+}

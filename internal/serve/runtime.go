@@ -38,10 +38,18 @@ type request struct {
 
 // member is a request resident in a replica's running batch: a two-phase
 // state machine (prefill steps, then decode steps once decoding is set).
+// Under the legacy whole-chunk policies prefill advances one equal step
+// per chunk (unit/remaining); under a budgeted (chunked-prefill) policy
+// it advances at token granularity instead (prefTotal/prefDone/perTok),
+// the per-step slice set by allocPrefill from the shared budget.
 type member struct {
 	req           request
 	unit          float64 // duration of one step in the current phase
 	remaining     int     // steps left in the current phase
+	prefTotal     int     // prefill tokens in total (budgeted stepping)
+	prefDone      int     // prefill tokens already computed
+	perTok        float64 // prefill seconds per token
+	slice         int     // tokens granted for the current step
 	decoding      bool    // prefill finished, decode phase entered
 	lastToken     float64 // virtual time the latest token was emitted
 	genKey        chunk.ID
@@ -71,17 +79,22 @@ type cluster struct {
 	tokenBytes int64   // generated KV bytes per decoded token
 	decodeUnit float64 // unbatched per-token decode step duration
 	hasDecode  bool    // some request carries a generation budget
+	policy     Policy
+	budget     int  // the policy's per-step prefill token budget (0 = whole-chunk)
+	schedOn    bool // scheduling telemetry requested (explicit Config.Sched)
 
-	ttfts     []float64
-	tbts      []float64
-	e2es      []float64
-	outTokens int64
-	completed int
-	lastDone  float64
-	busy      []float64
-	batchHist metrics.Histogram
-	depthSum  float64
-	depthN    int
+	ttfts         []float64
+	tbts          []float64
+	e2es          []float64
+	prefillDelays []float64 // arrival → batch admission, post-warmup
+	stallTime     float64   // decoder-seconds lost to prefill pacing
+	outTokens     int64
+	completed     int
+	lastDone      float64
+	busy          []float64
+	batchHist     metrics.Histogram
+	depthSum      float64
+	depthN        int
 	// post-warmup step counts by batch composition
 	stepsPrefill, stepsDecode, stepsMixed int64
 	multiTenant                           bool
@@ -140,6 +153,9 @@ func (c *cluster) run() Result {
 	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
 	c.tokenBytes = cfg.Spec.KVBytesPerToken()
 	c.decodeUnit = cfg.Spec.DecodeSecPerToken
+	c.policy = cfg.policy()
+	c.budget = c.policy.PrefillBudget()
+	c.schedOn = cfg.schedMetrics()
 	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
 	defer c.store.Close()
 
@@ -217,6 +233,11 @@ func (c *cluster) run() Result {
 			res.MixedStepShare = float64(c.stepsMixed) / float64(steps)
 		}
 	}
+	if c.schedOn {
+		res.StallTime = c.stallTime
+		res.MeanPrefillDelay = metrics.Mean(c.prefillDelays)
+		res.P95PrefillDelay = metrics.Percentile(c.prefillDelays, 95)
+	}
 	res.Tenants = c.tenantUsage()
 	return res
 }
@@ -252,42 +273,82 @@ func (c *cluster) tenantUsage() []TenantUsage {
 }
 
 // replica is one worker process: it keeps a running batch, admitting from
-// the shared queue and stepping every member — prefilling or decoding —
-// in lockstep, retiring completions at step boundaries.
+// the shared queue under the scheduling policy and stepping every member
+// — prefilling or decoding — in lockstep, retiring completions at step
+// boundaries.
 func (c *cluster) replica(p *sim.Proc, r int) {
 	var batch []*member
+	deferred := 0 // consecutive boundaries the policy held the door while work waited
 	for {
 		if len(batch) == 0 {
-			// Idle: block on the admission queue.
+			// Idle: block on the admission queue. Policies only gate
+			// top-ups — an empty replica always takes the next request.
 			req, ok := c.queue.Pop(p)
 			if !ok {
 				return // queue closed and drained, batch empty — done
 			}
-			batch = append(batch, c.admit(req))
+			batch = append(batch, c.admit(req, p.Now()))
+			deferred = 0
 		}
-		// Continuous batching, join side: top the batch up with whatever
-		// is waiting, without blocking — new requests only enter at a
-		// step boundary.
-		for len(batch) < c.cfg.maxBatch() {
+		// Continuous batching, join side: the policy decides how many of
+		// the waiting requests may join at this step boundary (FIFO takes
+		// everything that fits; decode-priority holds prefills while the
+		// batch decodes). New requests only enter at a step boundary.
+		prefillers, decoders := 0, 0
+		for _, m := range batch {
+			if m.decoding {
+				decoders++
+			} else {
+				prefillers++
+			}
+		}
+		headroom := c.cfg.maxBatch() - len(batch)
+		quota := c.policy.AdmitQuota(prefillers, decoders, headroom, deferred)
+		if quota > headroom {
+			quota = headroom
+		}
+		admitted := 0
+		for admitted < quota {
 			req, ok := c.queue.TryPop()
 			if !ok {
 				break
 			}
-			batch = append(batch, c.admit(req))
+			batch = append(batch, c.admit(req, p.Now()))
+			admitted++
+		}
+		if admitted > 0 {
+			deferred = 0
+		} else if headroom > 0 && c.queue.Len() > 0 {
+			deferred++ // work waited at an open door — age it
 		}
 		// Execute one step for every member in lockstep: the longest
 		// member paces the step, each extra sequence adds the marginal
-		// batching cost of the step's phase mix.
-		step := c.stepTime(batch)
+		// batching cost of the step's phase mix; budgeted policies bound
+		// the prefill tokens the step may spend.
+		step, stall := c.planStep(batch)
 		p.Sleep(step)
 		now := p.Now()
-		c.observeStep(batch, step, now, r)
+		c.observeStep(batch, step, stall, now, r)
 		// Advance every member one step; retire at phase ends.
 		live := batch[:0]
 		for _, m := range batch {
 			if !m.decoding {
-				m.remaining--
-				if m.remaining > 0 {
+				var done bool
+				if c.budget > 0 {
+					if m.slice == 0 {
+						// Resident but idle: this step's budget was
+						// spent by members admitted ahead of it.
+						live = append(live, m)
+						continue
+					}
+					m.prefDone += m.slice
+					m.slice = 0
+					done = m.prefDone >= m.prefTotal
+				} else {
+					m.remaining--
+					done = m.remaining == 0
+				}
+				if !done {
 					live = append(live, m)
 					continue
 				}
@@ -315,16 +376,73 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 	}
 }
 
+// planStep prices the batch's next step under the active policy and
+// reports its decoder-seconds of stall. Whole-chunk policies price with
+// stepTime (the legacy model, bit for bit); a budgeted policy allocates
+// the step's prefill token slices first and prices the bounded slice
+// with the engine's chunked mixed-step model.
+func (c *cluster) planStep(batch []*member) (step, stall float64) {
+	if c.budget > 0 {
+		prefillers, decoders, longest := allocPrefill(batch, c.budget)
+		if prefillers == 0 {
+			return engine.DecodeStepTime(c.decodeUnit, len(batch), c.cfg.decodeOverhead()), 0
+		}
+		decodeUnit := 0.0
+		if decoders > 0 {
+			decodeUnit = c.decodeUnit
+		}
+		step = engine.ChunkedStepTime(longest, decodeUnit, prefillers, decoders,
+			c.cfg.batchOverhead(), c.cfg.decodeOverhead())
+		return step, c.stall(step, decoders, len(batch))
+	}
+	step = c.stepTime(batch)
+	decoders := 0
+	for _, m := range batch {
+		if m.decoding {
+			decoders++
+		}
+	}
+	if decoders == len(batch) {
+		return step, 0 // decode-only: nothing paced by prefill
+	}
+	return step, c.stall(step, decoders, len(batch))
+}
+
+// stall is the decoder-seconds a prefill-paced step costs beyond the
+// decode-only step its decoders would have run at the same width — the
+// head-of-line blocking the scheduling telemetry quantifies. Zero when
+// the telemetry is off, so the legacy path computes nothing new.
+func (c *cluster) stall(step float64, decoders, width int) float64 {
+	if decoders == 0 || !c.schedOn {
+		return 0
+	}
+	extra := step - engine.DecodeStepTime(c.decodeUnit, width, c.cfg.decodeOverhead())
+	if extra <= 0 {
+		return 0
+	}
+	return extra * float64(decoders)
+}
+
 // admit computes the request's per-scheme prefill service time against
 // the shared store's current state and splits it into chunk-boundary
-// steps; the decode budget rides along on the member.
-func (c *cluster) admit(req request) *member {
+// steps — or, under a budgeted policy, into token-granularity progress
+// over the same total service time; the decode budget rides along on
+// the member. now is the admission instant, sampled for the
+// prefill-delay telemetry.
+func (c *cluster) admit(req request, now float64) *member {
 	steps := len(req.ids) + 1 // one per chunk, one for the query
 	service, lookups, hits := serviceTime(c.cfg, c.store, req.ids, c.chunkBytes)
 	m := &member{req: req, unit: service / float64(steps), remaining: steps,
 		lookups: lookups, hits: hits}
+	if c.budget > 0 {
+		m.prefTotal = len(req.ids)*c.cfg.ChunkTokens + c.cfg.QueryTokens
+		m.perTok = service / float64(m.prefTotal)
+	}
 	if req.decode > 0 {
 		m.genKey = genKey(c.cfg, req.idx)
+	}
+	if c.schedOn && req.idx >= c.warmup {
+		c.prefillDelays = append(c.prefillDelays, now-req.arrival)
 	}
 	return m
 }
@@ -362,19 +480,22 @@ func (c *cluster) stepTime(batch []*member) float64 {
 }
 
 // observeStep records one executed step's telemetry — batch size, busy
-// time, phase composition — unless it ends inside the warmup period (one
-// cutoff for every metric, the cutoff TTFT uses).
-func (c *cluster) observeStep(batch []*member, step, now float64, r int) {
+// time, stall, phase composition — unless it ends inside the warmup
+// period (one cutoff for every metric, the cutoff TTFT uses).
+func (c *cluster) observeStep(batch []*member, step, stall, now float64, r int) {
 	if now <= c.cutoff {
 		return
 	}
 	// A step straddling the cutoff only credits its post-cutoff portion:
 	// utilization's denominator starts at the cutoff, so crediting the
 	// whole step would overstate busy time (and could push it past 1).
+	// Stall is pro-rated the same way.
 	if busy := now - c.cutoff; busy < step {
+		stall *= busy / step
 		step = busy
 	}
 	c.busy[r] += step
+	c.stallTime += stall
 	c.batchHist.Observe(len(batch))
 	prefill, decode := false, false
 	for _, m := range batch {

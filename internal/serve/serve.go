@@ -95,6 +95,28 @@ type Config struct {
 	// per-sequence KV reads scale with width — so its marginal cost is far
 	// below prefill's; 0 uses the default 0.08.
 	DecodeOverhead float64
+	// Sched selects the scheduling policy controlling batch admission
+	// and per-step prefill budgets: "" or SchedFIFO (legacy greedy
+	// admission, whole-chunk prefill steps), SchedChunkedPrefill
+	// (per-step prefill token budget, see PrefillBudget),
+	// SchedDecodePriority (defer prefill admission while the batch
+	// decodes, see StarveLimit), or SchedSLO (reserved stub, FIFO
+	// behaviour). The empty default is bit-identical to the pre-policy
+	// runtime; any named policy — "fifo" included — additionally
+	// populates the scheduling telemetry in Result.
+	Sched string
+	// PrefillBudget caps the prefill tokens one step may spend across
+	// the batch's prefilling members under SchedChunkedPrefill,
+	// splitting a joining request's prefill over multiple steps so
+	// resident decoders keep near-decode cadence. 0 uses the default
+	// 256; setting it with any other policy is a validation error.
+	PrefillBudget int
+	// StarveLimit bounds SchedDecodePriority's deferral: after this
+	// many consecutive step boundaries where admission was deferred
+	// while work waited, the replica admits one request regardless, so
+	// prefill delay stays finite at overload. 0 uses the default 8;
+	// setting it with any other policy is a validation error.
+	StarveLimit int
 	// ChunkPool is the number of distinct chunks in the corpus.
 	ChunkPool int
 	// ChunksPerRequest is how many chunks each request retrieves.
@@ -137,6 +159,22 @@ func (c Config) decodeOverhead() float64 {
 		return 0.08
 	}
 	return c.DecodeOverhead
+}
+
+// prefillBudget returns the effective chunked-prefill token budget.
+func (c Config) prefillBudget() int {
+	if c.PrefillBudget <= 0 {
+		return 256
+	}
+	return c.PrefillBudget
+}
+
+// starveLimit returns the effective decode-priority aging bound.
+func (c Config) starveLimit() int {
+	if c.StarveLimit <= 0 {
+		return 8
+	}
+	return c.StarveLimit
 }
 
 // shards returns the effective store shard count.
@@ -206,6 +244,24 @@ func (c Config) Validate() error {
 		return fmt.Errorf("store shards %d: negative", c.StoreShards)
 	case c.StoreCapacity < 0:
 		return fmt.Errorf("store capacity %d: negative", c.StoreCapacity)
+	case c.PrefillBudget < 0:
+		return fmt.Errorf("prefill budget %d: negative", c.PrefillBudget)
+	case c.StarveLimit < 0:
+		return fmt.Errorf("starve limit %d: negative", c.StarveLimit)
+	}
+	switch c.Sched {
+	case "", SchedFIFO, SchedChunkedPrefill, SchedDecodePriority, SchedSLO:
+	default:
+		return fmt.Errorf("scheduling policy %q: want %s, %s, %s or %s",
+			c.Sched, SchedFIFO, SchedChunkedPrefill, SchedDecodePriority, SchedSLO)
+	}
+	if c.PrefillBudget > 0 && c.Sched != SchedChunkedPrefill {
+		return fmt.Errorf("prefill budget %d requires the %s policy (got %q)",
+			c.PrefillBudget, SchedChunkedPrefill, c.Sched)
+	}
+	if c.StarveLimit > 0 && c.Sched != SchedDecodePriority {
+		return fmt.Errorf("starve limit %d requires the %s policy (got %q)",
+			c.StarveLimit, SchedDecodePriority, c.Sched)
 	}
 	tiers := c.tierConfigs()
 	for i, tc := range tiers {
@@ -273,6 +329,22 @@ type Result struct {
 	PrefillStepShare float64 `json:",omitempty"`
 	DecodeStepShare  float64 `json:",omitempty"`
 	MixedStepShare   float64 `json:",omitempty"`
+	// Scheduling telemetry, populated only when Config.Sched names a
+	// policy explicitly (the empty legacy default leaves all three
+	// zero, keeping pre-policy Results byte-identical; naming "fifo"
+	// measures the same schedule with the telemetry on).
+	//
+	// StallTime sums, over post-warmup mixed steps, the decoder-seconds
+	// lost to prefill pacing: (step duration − what a decode-only step
+	// of the same width would have cost) × resident decoders. It is the
+	// head-of-line blocking a scheduling policy is supposed to remove.
+	StallTime float64 `json:",omitempty"`
+	// MeanPrefillDelay/P95PrefillDelay summarise the wait between a
+	// post-warmup request's arrival and its admission into a replica
+	// batch — pure queueing under FIFO, queueing plus deferred
+	// admission under decode-priority (bounded by StarveLimit).
+	MeanPrefillDelay float64 `json:",omitempty"`
+	P95PrefillDelay  float64 `json:",omitempty"`
 	// Lookups is the total chunk-store lookup count; Misses is how many
 	// missed every tier. Sum of per-tier Hits plus Misses equals Lookups.
 	Lookups, Misses int64

@@ -207,6 +207,36 @@ func TestServeCLIDecodeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeCLISchedSmoke drives the scheduling-policy flags: a
+// chunked-prefill run with an explicit budget must print the scheduling
+// telemetry, and the policy/knob validation errors must surface cleanly.
+func TestServeCLISchedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the serve binary")
+	}
+	out := goTool(t, "run", "./cmd/cacheblend-serve",
+		"-sched", "chunked-prefill", "-prefill-budget", "128",
+		"-decode", "16", "-batch", "4", "-rates", "1", "-n", "200", "-v")
+	for _, w := range []string{"sched=chunked-prefill", "tbt=", "sched stall=", "prefill-delay="} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("chunked-prefill serve CLI output missing %q:\n%s", w, out)
+		}
+	}
+	out = goTool(t, "run", "./cmd/cacheblend-serve",
+		"-sched", "decode-priority", "-decode", "16", "-batch", "4", "-rates", "1", "-n", "200", "-v")
+	if !strings.Contains(out, "sched=decode-priority") {
+		t.Fatalf("decode-priority serve CLI output missing header:\n%s", out)
+	}
+	if out, err := goToolErr(t, "run", "./cmd/cacheblend-serve",
+		"-sched", "sarathi", "-rates", "1"); err == nil || !strings.Contains(out, "scheduling policy") {
+		t.Fatalf("unknown -sched accepted or error unclear:\n%s", out)
+	}
+	if out, err := goToolErr(t, "run", "./cmd/cacheblend-serve",
+		"-prefill-budget", "128", "-rates", "1"); err == nil || !strings.Contains(out, "prefill budget") {
+		t.Fatalf("-prefill-budget without -sched chunked-prefill accepted or error unclear:\n%s", out)
+	}
+}
+
 // TestServeCLITraceRejectsWorkloadFlag: -trace fixes the request stream,
 // so combining it with an explicit -workload must fail with a clear error
 // instead of silently ignoring one of the two.
