@@ -394,6 +394,45 @@ func BenchmarkServeSched(b *testing.B) {
 	}
 }
 
+// BenchmarkServePrefetch runs the tiered bursty scenario under each
+// tier-prefetch policy, reporting tier-read stall — the loader
+// counterpart of BenchmarkServeSched. The active policies run loader
+// processes and an in-flight transfer table on top of the same schedule,
+// so this also tracks the prefetch machinery's own simulation cost.
+func BenchmarkServePrefetch(b *testing.B) {
+	spec := timing.Mistral7B
+	total := int64(60) * spec.KVBytes(512)
+	cfg := serve.Config{
+		Spec: spec, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Replicas: 2, MaxBatch: 3, ChunkPool: 150, ChunksPerRequest: 6,
+		ChunkTokens: 512, QueryTokens: 32, Skew: 0.9,
+		Tiers: []serve.TierConfig{
+			{Device: device.GPUHBM, Capacity: total / 6},
+			{Device: device.CPURAM, Capacity: total / 3},
+			{Device: device.NVMeSSD, Capacity: total - total/6 - total/3},
+		},
+	}
+	w := workload.Bursty{Rate: 0.5, Burst: 24,
+		Chunks: workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest,
+			Skew: cfg.Skew, DriftPeriod: 60}}
+	for _, policy := range []string{serve.PrefetchOff, serve.PrefetchOnEnqueue, serve.PrefetchPredictive} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			c := cfg
+			c.PrefetchPolicy = policy
+			var stall float64
+			for i := 0; i < b.N; i++ {
+				res, err := serve.RunWorkload(c, w, 300, 100, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				stall = res.TierStallTime
+			}
+			b.ReportMetric(stall*1000, "tier-stall-ms")
+		})
+	}
+}
+
 // ---- Ablation benches (DESIGN.md design-choice list) ---------------------
 
 func BenchmarkAblationGradualFilterOn(b *testing.B) {

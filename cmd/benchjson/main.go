@@ -16,14 +16,24 @@
 // ignored, so the raw `go test` stream pipes straight in:
 //
 //	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson > BENCH_pr.json
+//
+// With -compare the parsed run is additionally checked against a previous
+// PR's committed JSON, and the process exits 1 when a gated serving
+// benchmark (ServeReplicas, ServeTiered, ServeSched) regressed in ns/op
+// beyond the threshold — the in-repo bench trajectory doubles as a CI
+// regression gate:
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson -compare benchdata/BENCH_pr5.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -39,7 +49,20 @@ type Bench struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// gatedPrefixes names the serving benchmarks the -compare mode fails on:
+// the macro benchmarks whose ns/op is dominated by simulated-cluster work
+// rather than harness noise. Micro benchmarks still land in the JSON for
+// the trajectory, they just don't gate.
+var gatedPrefixes = []string{
+	"BenchmarkServeReplicas",
+	"BenchmarkServeTiered",
+	"BenchmarkServeSched",
+}
+
 func main() {
+	comparePath := flag.String("compare", "", "baseline BENCH_pr JSON to compare gated benchmarks against (exit 1 on regression)")
+	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op growth for gated benchmarks")
+	flag.Parse()
 	out, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -55,6 +78,74 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(string(blob))
+	if *comparePath == "" {
+		return
+	}
+	base, err := loadBaseline(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	regressions := Compare(out, base, *threshold)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gated benchmark(s) regressed past %.0f%% vs %s\n",
+			len(regressions), *threshold*100, *comparePath)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gated benchmarks within %.0f%% of %s\n", *threshold*100, *comparePath)
+}
+
+func loadBaseline(path string) (map[string]Bench, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var base map[string]Bench
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return base, nil
+}
+
+// Compare reports every gated benchmark whose current ns/op exceeds the
+// baseline by more than threshold. Benchmarks absent from either side are
+// skipped — new benchmarks gate from the next PR's baseline on, retired
+// ones stop gating — so the checked-in trajectory never blocks adding or
+// removing benchmarks.
+func Compare(cur, base map[string]Bench, threshold float64) []string {
+	var out []string
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !gated(name) {
+			continue
+		}
+		old, ok := base[name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		now := cur[name].NsPerOp
+		if now > old.NsPerOp*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
+				name, now, old.NsPerOp, (now/old.NsPerOp-1)*100, threshold*100))
+		}
+	}
+	return out
+}
+
+func gated(name string) bool {
+	for _, p := range gatedPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse extracts every benchmark result line from r. A duplicate name

@@ -51,3 +51,43 @@ func TestParseRejectsNonBenchLines(t *testing.T) {
 		t.Fatalf("accepted malformed lines: %v", got)
 	}
 }
+
+func TestCompareGatesOnlyServingBenchmarks(t *testing.T) {
+	base := map[string]Bench{
+		"BenchmarkServeReplicas/r1":      {NsPerOp: 100},
+		"BenchmarkServeTiered/hbm":       {NsPerOp: 200},
+		"BenchmarkServeSched/fifo":       {NsPerOp: 300},
+		"BenchmarkFuse":                  {NsPerOp: 10},
+		"BenchmarkServeReplicas/retired": {NsPerOp: 50},
+	}
+	cur := map[string]Bench{
+		"BenchmarkServeReplicas/r1": {NsPerOp: 119},  // +19%: within limit
+		"BenchmarkServeTiered/hbm":  {NsPerOp: 250},  // +25%: regression
+		"BenchmarkServeSched/fifo":  {NsPerOp: 150},  // improvement
+		"BenchmarkFuse":             {NsPerOp: 1000}, // micro benchmark: never gates
+		"BenchmarkServeSched/new":   {NsPerOp: 999},  // no baseline: skipped
+	}
+	got := Compare(cur, base, 0.20)
+	if len(got) != 1 || !strings.Contains(got[0], "BenchmarkServeTiered/hbm") {
+		t.Fatalf("want exactly the tiered regression, got %v", got)
+	}
+	if got := Compare(cur, base, 0.30); len(got) != 0 {
+		t.Fatalf("30%% threshold should pass, got %v", got)
+	}
+}
+
+func TestCompareBoundary(t *testing.T) {
+	base := map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 100}}
+	// Exactly at the limit passes; just above fails.
+	if got := Compare(map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 120}}, base, 0.20); len(got) != 0 {
+		t.Fatalf("exactly +20%% should pass, got %v", got)
+	}
+	if got := Compare(map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 121}}, base, 0.20); len(got) != 1 {
+		t.Fatalf("+21%% should fail, got %v", got)
+	}
+	// A zero/garbage baseline entry never gates.
+	if got := Compare(map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 121}},
+		map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 0}}, 0.20); len(got) != 0 {
+		t.Fatalf("zero baseline should be skipped, got %v", got)
+	}
+}

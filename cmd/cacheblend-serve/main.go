@@ -15,6 +15,8 @@
 //	cacheblend-serve -decode 32 -decode-dist fixed -rates 1
 //	cacheblend-serve -sched chunked-prefill -prefill-budget 128 -decode 64 -batch 8 -rates 0.5 -v
 //	cacheblend-serve -sched decode-priority -decode 64 -batch 8 -rates 0.5 -v
+//	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:24,nvme-ssd:0 -prefetch predictive -workload bursty -burst 24 -rates 0.5 -v
+//	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:24,nvme-ssd:0 -prefetch on-enqueue -prefetch-bw 0.5 -rates 0.5
 //	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
 //	cacheblend-serve -trace run.jsonl     # bit-identical replay
 package main
@@ -50,6 +52,8 @@ func main() {
 		batch     = flag.Int("batch", 1, "continuous-batching cap per replica step")
 		sched     = flag.String("sched", "", "scheduling policy (fifo, chunked-prefill, decode-priority, slo); empty = legacy FIFO without scheduling telemetry")
 		budget    = flag.Int("prefill-budget", 0, "chunked-prefill per-step prefill token budget (0 = default 256; requires -sched chunked-prefill)")
+		prefetch  = flag.String("prefetch", "", "tier prefetch policy (off, on-enqueue, predictive); empty = legacy synchronous loading without prefetch telemetry")
+		prefBW    = flag.Float64("prefetch-bw", 0, "loader bandwidth budget as a fraction of the source tier's read bandwidth in (0,1] (0 = full bandwidth; requires an active -prefetch policy)")
 		shards    = flag.Int("shards", 0, "KV store shards (0 = default)")
 		n         = flag.Int("n", 1500, "requests per rate point")
 		seed      = flag.Int64("seed", 42, "workload seed")
@@ -101,6 +105,8 @@ func main() {
 		MaxBatch:         *batch,
 		Sched:            *sched,
 		PrefillBudget:    *budget,
+		PrefetchPolicy:   *prefetch,
+		PrefetchBW:       *prefBW,
 		ChunkPool:        *pool,
 		ChunksPerRequest: *chunks,
 		ChunkTokens:      *chunkTok,
@@ -244,6 +250,17 @@ func printResult(res serve.Result, verbose bool) {
 	if res.StallTime > 0 || res.MeanPrefillDelay > 0 {
 		fmt.Printf("  sched stall=%.1fs prefill-delay=%.3fs p95=%.3fs\n",
 			res.StallTime, res.MeanPrefillDelay, res.P95PrefillDelay)
+	}
+	if res.HBMHitRate > 0 || res.TierStallTime > 0 {
+		line := fmt.Sprintf("  prefetch tier-stall=%.2fs hbm-hit=%.0f%%",
+			res.TierStallTime, res.HBMHitRate*100)
+		if res.PrefetchIssued > 0 {
+			line += fmt.Sprintf(" issued=%d hits=%d accuracy=%.0f%% wasted=%.1fGB",
+				res.PrefetchIssued, res.PrefetchHits,
+				float64(res.PrefetchHits)/float64(res.PrefetchIssued)*100,
+				float64(res.PrefetchWastedBytes)/1e9)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -333,5 +333,53 @@ func TestFig14ScalingShape(t *testing.T) {
 	}
 	if tput["4"] <= tput["1"] {
 		t.Fatalf("4-replica saturated throughput %.2f not above 1-replica %.2f", tput["4"], tput["1"])
+	}
+}
+
+func TestPrefetchSweepShape(t *testing.T) {
+	tab := PrefetchSweep(600)
+	if len(tab.Rows) != 3*2 {
+		t.Fatalf("want 6 rows (3 policies × 2 workloads), got %d", len(tab.Rows))
+	}
+	get := func(policy, load, col string) float64 {
+		for i, row := range tab.Rows {
+			if row[0] == policy && row[1] == load {
+				return num(t, cell(t, tab, i, col))
+			}
+		}
+		t.Fatalf("row %s/%s missing", policy, load)
+		return 0
+	}
+	// The headline claim: on heavily bursty traffic the async policies
+	// turn queueing delay into transfer overlap — less tier-read stall,
+	// lower mean TTFT, a hotter top tier — at unchanged throughput.
+	const load = "bursty×24"
+	offStall, offTTFT := get("off", load, "stall(s)"), get("off", load, "mean-ttft(s)")
+	for _, policy := range []string{"on-enqueue", "predictive"} {
+		if s := get(policy, load, "stall(s)"); s >= 0.85*offStall {
+			t.Fatalf("%s stall %.3f not well below synchronous %.3f", policy, s, offStall)
+		}
+		if ttft := get(policy, load, "mean-ttft(s)"); ttft >= offTTFT {
+			t.Fatalf("%s mean TTFT %.3f not below synchronous %.3f", policy, ttft, offTTFT)
+		}
+		if h, o := get(policy, load, "hbm-hit"), get("off", load, "hbm-hit"); h <= o {
+			t.Fatalf("%s HBM hit %.0f%% not above synchronous %.0f%%", policy, h, o)
+		}
+		if tp, o := get(policy, load, "tput(req/s)"), get("off", load, "tput(req/s)"); tp < 0.99*o {
+			t.Fatalf("%s throughput %.3f fell below synchronous %.3f", policy, tp, o)
+		}
+		// Speculation is never free: accuracy and waste must be reported.
+		if acc := get(policy, load, "accuracy"); acc <= 0 || acc > 100 {
+			t.Fatalf("%s accuracy %.0f%% out of range", policy, acc)
+		}
+		if w := get(policy, load, "wasted(MB)"); w <= 0 {
+			t.Fatalf("%s wasted bytes not reported", policy)
+		}
+	}
+	// The synchronous baseline issues no transfers at all.
+	for _, row := range tab.Rows {
+		if row[0] == "off" && cell(t, tab, 0, "accuracy") != "-" && row[6] != "-" {
+			t.Fatalf("off row reports prefetch accuracy %q", row[6])
+		}
 	}
 }

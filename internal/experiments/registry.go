@@ -52,6 +52,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{DecodeSweep(o.Requests)} }},
 		{"sched", "scheduling policies vs burstiness: chunked prefill and decode-priority admission",
 			func(o RunOpts) []*Table { return []*Table{SchedSweep(o.Requests)} }},
+		{"prefetch", "async tier prefetch: compute overlap and predictive promotion under popularity drift",
+			func(o RunOpts) []*Table { return []*Table{PrefetchSweep(o.Requests)} }},
 	}
 }
 

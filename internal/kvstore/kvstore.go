@@ -161,6 +161,19 @@ func (s *Store) Contains(id chunk.ID) bool {
 	return ok
 }
 
+// Peek returns id's payload without touching recency, hit/miss statistics
+// or placement — the read the tiered store's prefetch scheduler uses to
+// size a transfer without perturbing LRU order.
+func (s *Store) Peek(id chunk.ID) (Sized, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.index[id]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).payload, true
+}
+
 // Put inserts or replaces the payload for id, evicting per policy until
 // the entry fits. Payloads larger than the whole capacity are rejected.
 func (s *Store) Put(id chunk.ID, payload Sized) error {

@@ -1,0 +1,148 @@
+// Popularity estimator for predictive prefetch: exponentially decayed hit
+// counts per chunk, shared by a replica group's loaders. The workload
+// generators drift their Zipf ranking over time, so raw cumulative counts
+// would keep prefetching yesterday's hot set; halving each score every
+// Halflife seconds of virtual time makes the ranking follow the drift.
+package kvstore
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/chunk"
+)
+
+// Popularity tracks per-chunk access scores with exponential time decay.
+// It is safe for concurrent use.
+type Popularity struct {
+	mu       sync.Mutex
+	halflife float64
+	max      int
+	scores   map[chunk.ID]*popEntry
+}
+
+type popEntry struct {
+	score float64 // decayed count as of last
+	last  float64 // virtual time of the last update
+}
+
+// NewPopularity creates an estimator whose scores halve every halflife
+// seconds (≤ 0 disables decay) and that caps tracked chunks at maxEntries
+// (≤ 0 = unbounded), batch-evicting the coldest quarter when full.
+func NewPopularity(halflife float64, maxEntries int) *Popularity {
+	return &Popularity{
+		halflife: halflife,
+		max:      maxEntries,
+		scores:   make(map[chunk.ID]*popEntry),
+	}
+}
+
+// decayed returns e's score brought forward to now. The clock never runs
+// backwards in a run, but a stale now (concurrent callers racing) must not
+// inflate the score, so negative elapsed time decays nothing.
+func (p *Popularity) decayed(e *popEntry, now float64) float64 {
+	if p.halflife <= 0 {
+		return e.score
+	}
+	dt := now - e.last
+	if dt <= 0 {
+		return e.score
+	}
+	return e.score * math.Exp2(-dt/p.halflife)
+}
+
+// Touch records one access to id at virtual time now.
+func (p *Popularity) Touch(id chunk.ID, now float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.scores[id]; ok {
+		e.score = p.decayed(e, now) + 1
+		if now > e.last {
+			e.last = now
+		}
+		return
+	}
+	if p.max > 0 && len(p.scores) >= p.max {
+		p.compactLocked(now)
+	}
+	p.scores[id] = &popEntry{score: 1, last: now}
+}
+
+// Score returns id's decayed score at now (0 if untracked).
+func (p *Popularity) Score(id chunk.ID, now float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.scores[id]
+	if !ok {
+		return 0
+	}
+	return p.decayed(e, now)
+}
+
+// Len returns the number of tracked chunks.
+func (p *Popularity) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.scores)
+}
+
+// Top returns up to k tracked ids passing keep (nil = all), hottest first.
+// Ties break on id bytes so the ranking is deterministic.
+func (p *Popularity) Top(now float64, k int, keep func(chunk.ID) bool) []chunk.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	type ranked struct {
+		id    chunk.ID
+		score float64
+	}
+	all := make([]ranked, 0, len(p.scores))
+	for id, e := range p.scores {
+		if keep != nil && !keep(id) {
+			continue
+		}
+		all = append(all, ranked{id, p.decayed(e, now)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return bytes.Compare(all[i].id[:], all[j].id[:]) < 0
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	out := make([]chunk.ID, len(all))
+	for i, r := range all {
+		out[i] = r.id
+	}
+	return out
+}
+
+// compactLocked evicts the coldest tracked chunks down to 3/4 of the cap,
+// deterministically (score asc, then id bytes) so capped runs stay
+// seed-stable.
+func (p *Popularity) compactLocked(now float64) {
+	type ranked struct {
+		id    chunk.ID
+		score float64
+	}
+	all := make([]ranked, 0, len(p.scores))
+	for id, e := range p.scores {
+		all = append(all, ranked{id, p.decayed(e, now)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score < all[j].score
+		}
+		return bytes.Compare(all[i].id[:], all[j].id[:]) < 0
+	})
+	target := p.max * 3 / 4
+	for _, r := range all {
+		if len(p.scores) <= target {
+			break
+		}
+		delete(p.scores, r.id)
+	}
+}

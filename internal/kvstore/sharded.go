@@ -85,6 +85,9 @@ func (s *Sharded) Get(id chunk.ID) (Sized, bool) { return s.shard(id).Get(id) }
 // Contains reports presence without touching recency or stats.
 func (s *Sharded) Contains(id chunk.ID) bool { return s.shard(id).Contains(id) }
 
+// Peek returns id's payload without touching recency or stats.
+func (s *Sharded) Peek(id chunk.ID) (Sized, bool) { return s.shard(id).Peek(id) }
+
 // Put inserts into id's shard, evicting within that shard as needed.
 func (s *Sharded) Put(id chunk.ID, payload Sized) error { return s.shard(id).Put(id, payload) }
 

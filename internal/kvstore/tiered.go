@@ -63,6 +63,13 @@ type Tiered struct {
 	drops  []int64 // demotions the next tier rejected (oversize payload)
 	misses int64
 	puts   int64
+
+	// In-flight prefetch transfer model (prefetch.go).
+	flights   map[chunk.ID]*transfer // keys currently being promoted
+	flightQ   []*transfer            // issue-ordered queue advanceLocked drains
+	flightSeq int
+	unread    map[chunk.ID]int64 // completed prefetches no lookup has touched
+	pf        PrefetchStats
 }
 
 // NewTiered builds a tier stack, fastest tier first. Every tier above the
@@ -73,12 +80,14 @@ func NewTiered(tiers []Tier, policy Policy) (*Tiered, error) {
 		return nil, fmt.Errorf("kvstore: tiered store needs at least one tier")
 	}
 	t := &Tiered{
-		tiers:  make([]*Sharded, len(tiers)),
-		cfg:    append([]Tier(nil), tiers...),
-		hits:   make([]int64, len(tiers)),
-		promos: make([]int64, len(tiers)),
-		demos:  make([]int64, len(tiers)),
-		drops:  make([]int64, len(tiers)),
+		tiers:   make([]*Sharded, len(tiers)),
+		cfg:     append([]Tier(nil), tiers...),
+		hits:    make([]int64, len(tiers)),
+		promos:  make([]int64, len(tiers)),
+		demos:   make([]int64, len(tiers)),
+		drops:   make([]int64, len(tiers)),
+		flights: make(map[chunk.ID]*transfer),
+		unread:  make(map[chunk.ID]int64),
 	}
 	for i, tc := range tiers {
 		if err := tc.Device.Validate(); err != nil {
@@ -100,6 +109,11 @@ func NewTiered(tiers []Tier, policy Policy) (*Tiered, error) {
 	for i := 0; i < len(t.tiers)-1; i++ {
 		i, next := i, t.tiers[i+1]
 		t.tiers[i].SetEvictHandler(func(id chunk.ID, payload Sized) {
+			if i == 0 {
+				// Demoted off the top before any lookup used it: an
+				// unread prefetch promotion was undone.
+				t.wasteUnreadLocked(id)
+			}
 			if err := next.Put(id, payload); err != nil {
 				t.drops[i]++ // next tier's shard cannot hold it: drop
 				return
@@ -133,6 +147,10 @@ func (t *Tiered) TierDevice(i int) device.Device { return t.cfg[i].Device }
 func (t *Tiered) Get(id chunk.ID) (Sized, int, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.getLocked(id)
+}
+
+func (t *Tiered) getLocked(id chunk.ID) (Sized, int, bool) {
 	for i, tier := range t.tiers {
 		payload, ok := tier.Get(id)
 		if !ok {
@@ -177,6 +195,7 @@ func (t *Tiered) Contains(id chunk.ID) bool {
 func (t *Tiered) Put(id chunk.ID, payload Sized) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.cancelLocked(id) // the new payload supersedes any copy in flight
 	for _, tier := range t.tiers {
 		tier.Remove(id)
 	}
@@ -197,6 +216,8 @@ func (t *Tiered) Put(id chunk.ID, payload Sized) error {
 func (t *Tiered) Remove(id chunk.ID) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.cancelLocked(id) // a removed key must never resurrect at arrival
+	t.wasteUnreadLocked(id)
 	removed := false
 	for _, tier := range t.tiers {
 		if _, ok := tier.Remove(id); ok {

@@ -37,6 +37,11 @@ type goldenCase struct {
 	// schedules and their StallTime/PrefillDelay telemetry down the way
 	// the legacy cases lock FIFO).
 	Sched string
+	// Prefetch selects the tier-prefetch policy ("" = legacy synchronous
+	// loading; "off" locks the same schedule with the prefetch telemetry
+	// on, the active policies lock the loader processes' transfer
+	// schedules).
+	Prefetch string
 }
 
 func goldenCases() []goldenCase {
@@ -95,6 +100,16 @@ func goldenCases() []goldenCase {
 			}
 		}
 	}
+	// Prefetch cases on bursty tiered traffic with popularity drift —
+	// queueing delay is the overlap the loaders exploit, drift is what
+	// the predictive policy's decayed popularity ranking must follow.
+	for _, pf := range []string{PrefetchOff, PrefetchOnEnqueue, PrefetchPredictive} {
+		for _, seed := range []int64{1, 7} {
+			name := "cacheblend/r2/tiered/bursty-drift/" + pf + "/seed" + strconv.FormatInt(seed, 10)
+			cases = append(cases, goldenCase{Name: name, Scheme: baselines.CacheBlend,
+				Replicas: 2, Tiered: true, Seed: seed, Workload: "bursty-drift", Prefetch: pf})
+		}
+	}
 	return cases
 }
 
@@ -111,6 +126,12 @@ func (gc goldenCase) run(t *testing.T) Result {
 		return Run(cfg, rate, n, warmup, gc.Seed)
 	case "bursty":
 		w = workload.Bursty{Rate: rate, Burst: 8, Chunks: chunks}
+	case "bursty-drift":
+		// Burstier than the plain bursty case: the prefetch policies only
+		// differ when arrivals actually queue.
+		drifting := chunks
+		drifting.DriftPeriod = 60
+		w = workload.Bursty{Rate: rate, Burst: 24, Chunks: drifting}
 	case "multi-tenant":
 		w = workload.TenantMix(3, rate, chunks, 120, workload.Decode{})
 	case "decode":
@@ -136,6 +157,7 @@ func (gc goldenCase) config() Config {
 		Replicas:         gc.Replicas,
 		MaxBatch:         3,
 		Sched:            gc.Sched,
+		PrefetchPolicy:   gc.Prefetch,
 		ChunkPool:        150,
 		ChunksPerRequest: 6,
 		ChunkTokens:      512,
@@ -219,6 +241,10 @@ func TestGoldenReplayDeterministic(t *testing.T) {
 	for _, sched := range []string{SchedChunkedPrefill, SchedDecodePriority} {
 		cases = append(cases, goldenCase{Name: "det/" + sched, Scheme: baselines.CacheBlend,
 			Replicas: 4, Tiered: true, Seed: 3, Workload: "decode", Sched: sched})
+	}
+	for _, pf := range []string{PrefetchOff, PrefetchOnEnqueue, PrefetchPredictive} {
+		cases = append(cases, goldenCase{Name: "det/prefetch-" + pf, Scheme: baselines.CacheBlend,
+			Replicas: 4, Tiered: true, Seed: 3, Workload: "bursty-drift", Prefetch: pf})
 	}
 	for _, gc := range cases {
 		a, _ := json.Marshal(gc.run(t))

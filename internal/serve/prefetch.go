@@ -1,0 +1,159 @@
+// The asynchronous prefetch layer: per-replica loader processes on the
+// simulation clock that promote a request's chunks out of the cold tiers
+// while the request is still queued, so prefill finds them hot (or joins
+// a transfer already in flight and pays only the residual wait). This is
+// the serving-side half of CacheBlend's loading controller: the
+// controller picks how much recompute a tier's loading delay hides, the
+// loader moves the chunks early enough that there is less delay to hide.
+// The transfer model itself — arrival-time completion, in-flight joins,
+// waste accounting — lives in kvstore (kvstore/prefetch.go); this file
+// decides when transfers are worth issuing.
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/chunk"
+	"repro/internal/sim"
+)
+
+// Prefetch policy names accepted by Config.PrefetchPolicy.
+const (
+	// PrefetchOff runs the legacy synchronous loading but populates the
+	// prefetch telemetry in Result (tier-read stall, effective HBM hit
+	// rate) — the baseline the sweep compares the async policies against.
+	// The empty default is the same schedule with the telemetry off,
+	// keeping legacy Results byte-identical.
+	PrefetchOff = "off"
+	// PrefetchOnEnqueue starts a loader per replica and prefetches each
+	// arriving request's own chunks the moment the request enters the
+	// admission queue: the queueing delay becomes transfer overlap.
+	PrefetchOnEnqueue = "on-enqueue"
+	// PrefetchPredictive is PrefetchOnEnqueue plus a demand signal: when
+	// arrivals find the admission queue backed up past the replica count,
+	// the loaders additionally promote the most popular cold chunks by
+	// decayed hit count, so the hot set is resident before the requests
+	// that want it are even admitted. This is what tracks the workload
+	// generators' popularity drift.
+	PrefetchPredictive = "predictive"
+)
+
+const (
+	// predictiveFanout is how many popular cold chunks one queue-depth
+	// signal promotes. Deliberately small: every speculative promotion
+	// evicts a top-tier resident, and the queue-depth trigger fires on
+	// every backed-up arrival anyway, so a small fanout drip-feeds the hot
+	// set upward instead of churning the (much smaller) HBM tier wholesale.
+	predictiveFanout = 2
+	// popHalflife is the popularity estimator's decay half-life in
+	// seconds of virtual time — long enough to rank a stable hot set,
+	// short enough to follow the generators' drift periods (tens to
+	// hundreds of seconds).
+	popHalflife = 64.0
+	// popMaxEntries caps the estimator's tracked chunks.
+	popMaxEntries = 4096
+)
+
+// prefetchJob is one unit of loader work: promote these chunk ids — or,
+// with no ids, whatever the popularity estimator ranks hottest among the
+// cold-tier residents (the predictive queue-depth signal).
+type prefetchJob struct {
+	ids []int
+}
+
+// prefetchOn reports whether the prefetch telemetry is active (any
+// explicit policy, the synchronous "off" baseline included).
+func (c Config) prefetchOn() bool { return c.PrefetchPolicy != "" }
+
+// prefetchActive reports whether loader processes actually run.
+func (c Config) prefetchActive() bool {
+	return c.PrefetchPolicy == PrefetchOnEnqueue || c.PrefetchPolicy == PrefetchPredictive
+}
+
+// prefetchBW returns the effective loader bandwidth fraction.
+func (c Config) prefetchBW() float64 {
+	if c.PrefetchBW <= 0 {
+		return 1
+	}
+	return c.PrefetchBW
+}
+
+// loader is one replica's prefetch process: it drains the prefetch queue
+// and issues tier promotions, sleeping each transfer to completion before
+// issuing the next — one transfer in flight per loader is the bandwidth
+// budget's serialisation point (the budget itself scales each transfer's
+// duration).
+func (c *cluster) loader(p *sim.Proc) {
+	bw := c.cfg.prefetchBW()
+	for {
+		job, ok := c.pfQueue.Pop(p)
+		if !ok {
+			return
+		}
+		for _, key := range c.jobKeys(job, p.Now()) {
+			if arrival, started := c.store.Prefetch(key, p.Now(), bw); started {
+				p.SleepUntil(arrival)
+			}
+		}
+	}
+}
+
+// jobKeys resolves a job to store keys: a request job names its own
+// chunks; a predictive job asks the popularity estimator for the hottest
+// chunks currently stranded on a cold tier.
+func (c *cluster) jobKeys(job prefetchJob, now float64) []chunk.ID {
+	if job.ids == nil {
+		return c.pop.Top(now, predictiveFanout, func(id chunk.ID) bool {
+			return c.store.TierOf(id) > 0
+		})
+	}
+	keys := make([]chunk.ID, len(job.ids))
+	for i, id := range job.ids {
+		keys[i] = chunkKey(c.cfg, id)
+	}
+	return keys
+}
+
+// lookup resolves one chunk lookup against the store at virtual time now:
+// the legacy synchronous Get when prefetch is off, the transfer-aware
+// GetAt — which may join an in-flight promotion and report a residual
+// wait — plus a popularity touch when a prefetch policy is set.
+func (c *cluster) lookup(key chunk.ID, now float64) (tier int, wait float64, ok bool) {
+	if !c.prefetchOn {
+		_, tier, ok := c.store.Get(key)
+		return tier, 0, ok
+	}
+	c.pop.Touch(key, now)
+	_, tier, wait, ok = c.store.GetAt(key, now)
+	return tier, wait, ok
+}
+
+// validatePrefetch is the Config.Validate slice for the prefetch fields.
+func (c Config) validatePrefetch() error {
+	switch c.PrefetchPolicy {
+	case "", PrefetchOff, PrefetchOnEnqueue, PrefetchPredictive:
+	default:
+		return fmt.Errorf("prefetch policy %q: want %s, %s or %s",
+			c.PrefetchPolicy, PrefetchOff, PrefetchOnEnqueue, PrefetchPredictive)
+	}
+	if c.PrefetchBW < 0 || c.PrefetchBW > 1 {
+		return fmt.Errorf("prefetch bandwidth %v: must be a fraction in [0, 1]", c.PrefetchBW)
+	}
+	if c.PrefetchBW > 0 && !c.prefetchActive() {
+		return fmt.Errorf("prefetch bandwidth %v requires an active prefetch policy (got %q)",
+			c.PrefetchBW, c.PrefetchPolicy)
+	}
+	if c.prefetchActive() {
+		if len(c.tierConfigs()) < 2 {
+			return fmt.Errorf("prefetch policy %q needs a multi-tier hierarchy to move chunks across", c.PrefetchPolicy)
+		}
+		switch c.Scheme {
+		case baselines.FullKVReuse, baselines.CacheBlend:
+		default:
+			return fmt.Errorf("prefetch policy %q only applies to chunk-reusing schemes (got %q)",
+				c.PrefetchPolicy, c.Scheme)
+		}
+	}
+	return nil
+}

@@ -82,12 +82,16 @@ type cluster struct {
 	policy     Policy
 	budget     int  // the policy's per-step prefill token budget (0 = whole-chunk)
 	schedOn    bool // scheduling telemetry requested (explicit Config.Sched)
+	prefetchOn bool // prefetch telemetry requested (explicit Config.PrefetchPolicy)
+	pop        *kvstore.Popularity
+	pfQueue    *sim.Queue[prefetchJob] // loader work queue (active policies only)
 
 	ttfts         []float64
 	tbts          []float64
 	e2es          []float64
 	prefillDelays []float64 // arrival → batch admission, post-warmup
 	stallTime     float64   // decoder-seconds lost to prefill pacing
+	tierStall     float64   // prefill seconds lost to non-HBM tier reads
 	outTokens     int64
 	completed     int
 	lastDone      float64
@@ -156,12 +160,19 @@ func (c *cluster) run() Result {
 	c.policy = cfg.policy()
 	c.budget = c.policy.PrefillBudget()
 	c.schedOn = cfg.schedMetrics()
+	c.prefetchOn = cfg.prefetchOn()
 	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
 	defer c.store.Close()
+	if c.prefetchOn {
+		c.pop = kvstore.NewPopularity(popHalflife, popMaxEntries)
+	}
 
 	c.clock = sim.NewClock()
 	c.queue = sim.NewQueue[request](c.clock)
 	c.busy = make([]float64, cfg.replicas())
+	if cfg.prefetchActive() {
+		c.pfQueue = sim.NewQueue[prefetchJob](c.clock)
+	}
 
 	c.clock.Go("arrivals", func(p *sim.Proc) {
 		for _, r := range c.reqs {
@@ -174,14 +185,29 @@ func (c *cluster) run() Result {
 				c.depthN++
 			}
 			c.queue.Push(r)
+			if c.pfQueue != nil {
+				// The loaders start moving this request's chunks while it
+				// queues; under the predictive policy a backed-up queue
+				// additionally triggers a popularity-driven promotion.
+				c.pfQueue.Push(prefetchJob{ids: r.ids})
+				if cfg.PrefetchPolicy == PrefetchPredictive && c.queue.Len() > cfg.replicas() {
+					c.pfQueue.Push(prefetchJob{})
+				}
+			}
 		}
 		c.queue.Close()
+		if c.pfQueue != nil {
+			c.pfQueue.Close()
+		}
 	})
 	for r := 0; r < cfg.replicas(); r++ {
 		r := r
 		c.clock.Go(fmt.Sprintf("replica-%d", r), func(p *sim.Proc) {
 			c.replica(p, r)
 		})
+		if c.pfQueue != nil {
+			c.clock.Go(fmt.Sprintf("loader-%d", r), c.loader)
+		}
 	}
 	end := c.clock.Run()
 
@@ -237,6 +263,16 @@ func (c *cluster) run() Result {
 		res.StallTime = c.stallTime
 		res.MeanPrefillDelay = metrics.Mean(c.prefillDelays)
 		res.P95PrefillDelay = metrics.Percentile(c.prefillDelays, 95)
+	}
+	if c.prefetchOn {
+		pf := c.store.PrefetchStats()
+		res.TierStallTime = c.tierStall
+		res.PrefetchIssued = pf.Issued
+		res.PrefetchHits = pf.Hits
+		res.PrefetchWastedBytes = pf.BytesWasted
+		if len(res.Tiers) > 0 {
+			res.HBMHitRate = metrics.Ratio(res.Tiers[0].Hits+pf.InflightJoins, res.Lookups)
+		}
 	}
 	res.Tenants = c.tenantUsage()
 	return res
@@ -431,7 +467,7 @@ func (c *cluster) stall(step float64, decoders, width int) float64 {
 // prefill-delay telemetry.
 func (c *cluster) admit(req request, now float64) *member {
 	steps := len(req.ids) + 1 // one per chunk, one for the query
-	service, lookups, hits := serviceTime(c.cfg, c.store, req.ids, c.chunkBytes)
+	service, lookups, hits, stall := c.serviceTime(req.ids, now)
 	m := &member{req: req, unit: service / float64(steps), remaining: steps,
 		lookups: lookups, hits: hits}
 	if c.budget > 0 {
@@ -441,8 +477,14 @@ func (c *cluster) admit(req request, now float64) *member {
 	if req.decode > 0 {
 		m.genKey = genKey(c.cfg, req.idx)
 	}
-	if c.schedOn && req.idx >= c.warmup {
+	// Telemetry sampled at admission uses the same unified time cutoff as
+	// every other metric (a warmup-indexed request admitted after the
+	// cutoff IS part of the measured window's load).
+	if c.schedOn && now > c.cutoff {
 		c.prefillDelays = append(c.prefillDelays, now-req.arrival)
+	}
+	if c.prefetchOn && now > c.cutoff {
+		c.tierStall += stall
 	}
 	return m
 }

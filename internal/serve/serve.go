@@ -117,6 +117,20 @@ type Config struct {
 	// prefill delay stays finite at overload. 0 uses the default 8;
 	// setting it with any other policy is a validation error.
 	StarveLimit int
+	// PrefetchPolicy selects the asynchronous tier-prefetch behaviour:
+	// "" (legacy synchronous loading, no prefetch telemetry), PrefetchOff
+	// (same synchronous loading with the telemetry populated — the
+	// baseline async policies are compared against), PrefetchOnEnqueue
+	// (per-replica loaders promote each arriving request's chunks while
+	// it queues) or PrefetchPredictive (on-enqueue plus popularity-driven
+	// promotion of the hottest cold chunks on a queue-depth signal). The
+	// active policies require a multi-tier hierarchy and a chunk-reusing
+	// scheme (FullKVReuse or CacheBlend).
+	PrefetchPolicy string
+	// PrefetchBW is the loader's bandwidth budget as a fraction of the
+	// source tier's read bandwidth, in (0, 1]; 0 uses the full device.
+	// Setting it requires an active prefetch policy.
+	PrefetchBW float64
 	// ChunkPool is the number of distinct chunks in the corpus.
 	ChunkPool int
 	// ChunksPerRequest is how many chunks each request retrieves.
@@ -263,6 +277,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("starve limit %d requires the %s policy (got %q)",
 			c.StarveLimit, SchedDecodePriority, c.Sched)
 	}
+	if err := c.validatePrefetch(); err != nil {
+		return err
+	}
 	tiers := c.tierConfigs()
 	for i, tc := range tiers {
 		if err := tc.Device.Validate(); err != nil {
@@ -345,6 +362,27 @@ type Result struct {
 	// admission under decode-priority (bounded by StarveLimit).
 	MeanPrefillDelay float64 `json:",omitempty"`
 	P95PrefillDelay  float64 `json:",omitempty"`
+	// Prefetch telemetry, populated only when Config.PrefetchPolicy is
+	// set ("off" included — the synchronous baseline with the telemetry
+	// on, so sweeps compare like against like).
+	//
+	// TierStallTime sums, over post-warmup admissions, the prefill
+	// seconds attributable to chunks not being HBM-resident: the
+	// request's priced load/blend cost (residual transfer waits included)
+	// minus what the same hits would have cost had every one been on the
+	// top tier. It is the time asynchronous prefetch exists to remove.
+	TierStallTime float64 `json:",omitempty"`
+	// PrefetchIssued counts transfers the loaders started; PrefetchHits
+	// how many lookups a prefetch served (in-flight joins plus first
+	// reads of completed promotions); PrefetchWastedBytes the transfer
+	// bytes that never served a read (cancelled, orphaned, or demoted
+	// unread).
+	PrefetchIssued      int64 `json:",omitempty"`
+	PrefetchHits        int64 `json:",omitempty"`
+	PrefetchWastedBytes int64 `json:",omitempty"`
+	// HBMHitRate is the effective top-tier hit rate: lookups served from
+	// HBM or from a transfer already flying toward it, over all lookups.
+	HBMHitRate float64 `json:",omitempty"`
 	// Lookups is the total chunk-store lookup count; Misses is how many
 	// missed every tier. Sum of per-tier Hits plus Misses equals Lookups.
 	Lookups, Misses int64
@@ -473,19 +511,28 @@ func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Re
 
 // serviceTime computes one request's prefill service time under the
 // scheme, updating the KV store, and reports the request's store lookup
-// and hit counts for per-tenant accounting. It is evaluated when the
-// request is admitted into a replica's batch, against the store's state
-// at that moment, and sizes the prompt from the request's own chunk list
-// — trace-replayed requests may retrieve any number of chunks. Hits are
-// charged the read time of the tier the chunk was found on; for
-// CacheBlend each tier's reused tokens recompute at the ratio the loading
-// controller picks for that tier's device (§5.1).
-func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64) (secs float64, lookups, hits int64) {
+// and hit counts for per-tenant accounting plus its tier-read stall (the
+// priced cost beyond an all-HBM request, computed only under a prefetch
+// policy). It is evaluated when the request is admitted into a replica's
+// batch, against the store's state at that moment, and sizes the prompt
+// from the request's own chunk list — trace-replayed requests may
+// retrieve any number of chunks. Hits are charged the read time of the
+// tier the chunk was found on — or, for a chunk whose promotion is
+// already in flight, the transfer's residual wait; for CacheBlend each
+// tier's reused tokens recompute at the ratio the loading controller
+// picks for that tier's device (§5.1).
+//
+// Lookups and inserts run in two passes — every lookup resolves against
+// the store's pre-request state before any miss is inserted — so a
+// miss-insert can no longer demote or evict a chunk the same request
+// already counted (and priced) as a hit at a now-wrong tier.
+func (c *cluster) serviceTime(ids []int, now float64) (secs float64, lookups, hits int64, stall float64) {
+	cfg, store, chunkBytes := c.cfg, c.store, c.chunkBytes
 	L := len(ids)*cfg.ChunkTokens + cfg.QueryTokens
 	spec := cfg.Spec
 	switch cfg.Scheme {
 	case baselines.FullRecompute:
-		return spec.FullPrefillTTFT(L), 0, 0
+		return spec.FullPrefillTTFT(L), 0, 0, 0
 
 	case baselines.PrefixCaching:
 		// Only a position-0 hit helps (§3.2). Following the paper's
@@ -494,21 +541,50 @@ func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64)
 		_, _, hit := store.Get(key)
 		if !hit {
 			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
-			return spec.FullPrefillTTFT(L), 1, 0
+			return spec.FullPrefillTTFT(L), 1, 0, 0
 		}
 		rest := L - cfg.ChunkTokens
-		return spec.Prefill(rest) + spec.DecodeSecPerToken, 1, 1
+		return spec.Prefill(rest) + spec.DecodeSecPerToken, 1, 1, 0
 
 	case baselines.FullKVReuse, baselines.CacheBlend:
 		found := 0
 		tierChunks := make([]int, store.Depth()) // hit chunks per tier
+		var waitCost float64                     // residual in-flight transfer waits
+		pending := make(map[chunk.ID]bool)       // missed keys awaiting insert
+		var missKeys, dupKeys []chunk.ID
 		for _, id := range ids {
 			key := chunkKey(cfg, id)
-			if _, tier, ok := store.Get(key); ok {
+			if pending[key] {
+				// A repeat of a key this request will insert: resolved in
+				// the second pass, against the inserted copy.
+				dupKeys = append(dupKeys, key)
+				continue
+			}
+			tier, wait, ok := c.lookup(key, now)
+			if !ok {
+				pending[key] = true
+				missKeys = append(missKeys, key)
+				continue
+			}
+			found++
+			if wait > 0 && wait+c.chunkCost(0) <= c.chunkCost(tier) {
+				// In-flight join: pay the transfer's remaining time, then
+				// read the chunk where it is landing — the top tier. Only
+				// when that beats reading the source tier directly: the
+				// engine can always fall back to the synchronous read a
+				// transfer too far from arrival would lose to.
+				waitCost += wait
+				tier = 0
+			}
+			tierChunks[tier]++
+		}
+		for _, key := range missKeys {
+			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
+		}
+		for _, key := range dupKeys {
+			if tier, _, ok := c.lookup(key, now); ok {
 				found++
 				tierChunks[tier]++
-			} else {
-				store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
 			}
 		}
 		lookups, hits = int64(len(ids)), int64(found)
@@ -519,7 +595,9 @@ func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64)
 			for tier, n := range tierChunks {
 				loadCost += store.TierDevice(tier).ReadTime(int64(n) * chunkBytes)
 			}
-			return loadCost + missCost + spec.DecodeSecPerToken, lookups, hits
+			loadCost += waitCost
+			return loadCost + missCost + spec.DecodeSecPerToken, lookups, hits,
+				c.reuseStall(loadCost, tierChunks, found)
 		}
 		// CacheBlend: selective recompute of the reused tokens, pipelined
 		// with their loading (§5) per the engine's loader/fusor schedule,
@@ -533,11 +611,52 @@ func serviceTime(cfg Config, store *kvstore.Tiered, ids []int, chunkBytes int64)
 			tokens := n * cfg.ChunkTokens
 			blendCost += pipelineCost(spec, cfg.chunkRatio(tokens, d), tokens, d)
 		}
-		return blendCost + missCost + spec.DecodeSecPerToken, lookups, hits
+		blendCost += waitCost
+		return blendCost + missCost + spec.DecodeSecPerToken, lookups, hits,
+			c.reuseStall(blendCost, tierChunks, found)
 
 	default:
 		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))
 	}
+}
+
+// chunkCost prices reusing one resident chunk off the given tier under
+// the config's scheme — the per-chunk comparison deciding whether an
+// in-flight join beats a synchronous source-tier read.
+func (c *cluster) chunkCost(tier int) float64 {
+	d := c.store.TierDevice(tier)
+	if c.cfg.Scheme == baselines.FullKVReuse {
+		return d.ReadTime(c.chunkBytes)
+	}
+	return pipelineCost(c.cfg.Spec, c.cfg.chunkRatio(c.cfg.ChunkTokens, d), c.cfg.ChunkTokens, d)
+}
+
+// reuseStall is the request's tier-read stall: its priced reuse cost
+// (waits included) beyond what the same found chunks would have cost had
+// every one been HBM-resident — the hypothetical cost is computed through
+// the same per-tier pricing with all hits moved to tier 0, so fixed
+// per-tier latency terms cancel. Zero when the prefetch telemetry is off.
+func (c *cluster) reuseStall(cost float64, tierChunks []int, found int) float64 {
+	if !c.prefetchOn {
+		return 0
+	}
+	cfg, store := c.cfg, c.store
+	hot := make([]int, len(tierChunks))
+	hot[0] = found
+	var hotCost float64
+	if cfg.Scheme == baselines.FullKVReuse {
+		for tier, n := range hot {
+			hotCost += store.TierDevice(tier).ReadTime(int64(n) * c.chunkBytes)
+		}
+	} else if found > 0 {
+		d := store.TierDevice(0)
+		tokens := found * cfg.ChunkTokens
+		hotCost = pipelineCost(cfg.Spec, cfg.chunkRatio(tokens, d), tokens, d)
+	}
+	if stall := cost - hotCost; stall > 0 {
+		return stall
+	}
+	return 0
 }
 
 // chunkRatio is the recompute ratio for reusing `tokens` of KV resident
