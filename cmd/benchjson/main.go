@@ -57,6 +57,7 @@ var gatedPrefixes = []string{
 	"BenchmarkServeReplicas",
 	"BenchmarkServeTiered",
 	"BenchmarkServeSched",
+	"BenchmarkServeRouted",
 }
 
 func main() {

@@ -17,6 +17,7 @@
 //	cacheblend-serve -sched decode-priority -decode 64 -batch 8 -rates 0.5 -v
 //	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:24,nvme-ssd:0 -prefetch predictive -workload bursty -burst 24 -rates 0.5 -v
 //	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:24,nvme-ssd:0 -prefetch on-enqueue -prefetch-bw 0.5 -rates 0.5
+//	cacheblend-serve -router affinity -replicas 4 -tiers gpu-hbm:8,cpu-ram:48,slow-ssd:0 -tenants 4 -rates 8 -v
 //	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
 //	cacheblend-serve -trace run.jsonl     # bit-identical replay
 package main
@@ -53,6 +54,7 @@ func main() {
 		sched     = flag.String("sched", "", "scheduling policy (fifo, chunked-prefill, decode-priority, slo); empty = legacy FIFO without scheduling telemetry")
 		budget    = flag.Int("prefill-budget", 0, "chunked-prefill per-step prefill token budget (0 = default 256; requires -sched chunked-prefill)")
 		prefetch  = flag.String("prefetch", "", "tier prefetch policy (off, on-enqueue, predictive); empty = legacy synchronous loading without prefetch telemetry")
+		router    = flag.String("router", "", "replica-routing policy (shared, hash, affinity); empty = legacy shared store without router telemetry; hash/affinity give each replica its own tier stack")
 		prefBW    = flag.Float64("prefetch-bw", 0, "loader bandwidth budget as a fraction of the source tier's read bandwidth in (0,1] (0 = full bandwidth; requires an active -prefetch policy)")
 		shards    = flag.Int("shards", 0, "KV store shards (0 = default)")
 		n         = flag.Int("n", 1500, "requests per rate point")
@@ -107,6 +109,7 @@ func main() {
 		PrefillBudget:    *budget,
 		PrefetchPolicy:   *prefetch,
 		PrefetchBW:       *prefBW,
+		Router:           *router,
 		ChunkPool:        *pool,
 		ChunksPerRequest: *chunks,
 		ChunkTokens:      *chunkTok,
@@ -250,6 +253,15 @@ func printResult(res serve.Result, verbose bool) {
 	if res.StallTime > 0 || res.MeanPrefillDelay > 0 {
 		fmt.Printf("  sched stall=%.1fs prefill-delay=%.3fs p95=%.3fs\n",
 			res.StallTime, res.MeanPrefillDelay, res.P95PrefillDelay)
+	}
+	if res.Router != "" {
+		line := fmt.Sprintf("  router %-8s load-skew=%.2f replica-hits=%s replica-reqs=%v",
+			res.Router, res.LoadSkew, fmtUtils(res.ReplicaHitRates), res.ReplicaRequests)
+		if res.DuplicationBytes > 0 || res.QueueSkew > 0 {
+			line += fmt.Sprintf(" queue-skew=%.2f dup=%.1fGB",
+				res.QueueSkew, float64(res.DuplicationBytes)/1e9)
+		}
+		fmt.Println(line)
 	}
 	if res.HBMHitRate > 0 || res.TierStallTime > 0 {
 		line := fmt.Sprintf("  prefetch tier-stall=%.2fs hbm-hit=%.0f%%",

@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch", "router"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))

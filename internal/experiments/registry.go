@@ -54,6 +54,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{SchedSweep(o.Requests)} }},
 		{"prefetch", "async tier prefetch: compute overlap and predictive promotion under popularity drift",
 			func(o RunOpts) []*Table { return []*Table{PrefetchSweep(o.Requests)} }},
+		{"router", "cache-affinity replica routing: shared vs hash vs affinity on multi-tenant bursty traffic",
+			func(o RunOpts) []*Table { return []*Table{RouterSweep(o.Requests)} }},
 	}
 }
 

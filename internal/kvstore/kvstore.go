@@ -279,6 +279,18 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Each calls fn for every resident entry with its id and byte size, in
+// recency order (most recently used first). It touches neither recency
+// nor statistics; fn must not call back into the store.
+func (s *Store) Each(fn func(id chunk.ID, bytes int64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		fn(e.id, e.bytes)
+	}
+}
+
 // Stats returns a snapshot of the counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()

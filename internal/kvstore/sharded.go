@@ -115,6 +115,14 @@ func (s *Sharded) Len() int {
 	return n
 }
 
+// Each calls fn for every resident entry across shards (shard by shard,
+// recency order within each). See Store.Each.
+func (s *Sharded) Each(fn func(id chunk.ID, bytes int64)) {
+	for _, sh := range s.shards {
+		sh.Each(fn)
+	}
+}
+
 // Stats returns the summed counters of all shards.
 func (s *Sharded) Stats() Stats {
 	var t Stats

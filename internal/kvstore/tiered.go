@@ -259,6 +259,18 @@ func (t *Tiered) Len() int {
 	return n
 }
 
+// Each calls fn for every entry resident in the hierarchy with its id and
+// byte size, tier by tier from the top. A chunk lives on at most one tier,
+// so ids are distinct. The affinity router's duplication accounting walks
+// per-replica stores with it; fn must not call back into the store.
+func (t *Tiered) Each(fn func(id chunk.ID, bytes int64)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tier := range t.tiers {
+		tier.Each(fn)
+	}
+}
+
 // TierStats snapshots per-tier placement telemetry, top tier first.
 func (t *Tiered) TierStats() []TierStats {
 	t.mu.Lock()

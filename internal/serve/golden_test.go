@@ -42,6 +42,10 @@ type goldenCase struct {
 	// on, the active policies lock the loader processes' transfer
 	// schedules).
 	Prefetch string
+	// Router selects the replica-routing policy ("" = legacy shared
+	// store; the routed cases lock the ring ownership and affinity-score
+	// schedules plus the skew/duplication telemetry).
+	Router string
 }
 
 func goldenCases() []goldenCase {
@@ -110,6 +114,18 @@ func goldenCases() []goldenCase {
 				Replicas: 2, Tiered: true, Seed: seed, Workload: "bursty-drift", Prefetch: pf})
 		}
 	}
+	// Router cases on the multi-tenant mix over tiered placement — the
+	// workload whose per-tenant corpora the routed policies partition.
+	// shared locks the telemetry over the legacy schedule; hash locks the
+	// ring ownership, affinity the score/touch schedule, both with their
+	// skew and duplication accounting.
+	for _, router := range []string{RouterShared, RouterHash, RouterAffinity} {
+		for _, seed := range []int64{1, 7} {
+			name := "cacheblend/r4/tiered/multi-tenant/router-" + router + "/seed" + strconv.FormatInt(seed, 10)
+			cases = append(cases, goldenCase{Name: name, Scheme: baselines.CacheBlend,
+				Replicas: 4, Tiered: true, Seed: seed, Workload: "multi-tenant", Router: router})
+		}
+	}
 	return cases
 }
 
@@ -158,6 +174,7 @@ func (gc goldenCase) config() Config {
 		MaxBatch:         3,
 		Sched:            gc.Sched,
 		PrefetchPolicy:   gc.Prefetch,
+		Router:           gc.Router,
 		ChunkPool:        150,
 		ChunksPerRequest: 6,
 		ChunkTokens:      512,

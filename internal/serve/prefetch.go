@@ -55,10 +55,14 @@ const (
 	popMaxEntries = 4096
 )
 
-// prefetchJob is one unit of loader work: promote these chunk ids — or,
-// with no ids, whatever the popularity estimator ranks hottest among the
-// cold-tier residents (the predictive queue-depth signal).
+// prefetchJob is one unit of loader work: promote these chunk ids on
+// behalf of request req — or, with req < 0, whatever the popularity
+// estimator ranks hottest among the cold-tier residents (the predictive
+// queue-depth signal). Carrying the request index is what makes the job
+// cancellable: once the request is admitted its tier reads are already
+// paid, and promoting its chunks afterwards is pure waste.
 type prefetchJob struct {
+	req int
 	ids []int
 }
 
@@ -79,33 +83,48 @@ func (c Config) prefetchBW() float64 {
 	return c.PrefetchBW
 }
 
-// loader is one replica's prefetch process: it drains the prefetch queue
-// and issues tier promotions, sleeping each transfer to completion before
-// issuing the next — one transfer in flight per loader is the bandwidth
-// budget's serialisation point (the budget itself scales each transfer's
-// duration).
-func (c *cluster) loader(p *sim.Proc) {
+// loader is replica r's prefetch process: it drains its node's prefetch
+// queue and issues tier promotions, sleeping each transfer to completion
+// before issuing the next — one transfer in flight per loader is the
+// bandwidth budget's serialisation point (the budget itself scales each
+// transfer's duration). Jobs whose request was admitted while they queued
+// are dropped, and a mid-job admission stops the remaining keys: the
+// request's tier reads are already priced against wherever its chunks
+// are, so further promotion only displaces top-tier residents and bills
+// PrefetchWastedBytes. Popping a predictive job releases its node's
+// dedupe slot before the promotions run.
+func (c *cluster) loader(p *sim.Proc, r int) {
 	bw := c.cfg.prefetchBW()
+	qi := c.qi(r)
+	store := c.stores[qi]
 	for {
-		job, ok := c.pfQueue.Pop(p)
+		job, ok := c.pfQueues[qi].Pop(p)
 		if !ok {
 			return
 		}
-		for _, key := range c.jobKeys(job, p.Now()) {
-			if arrival, started := c.store.Prefetch(key, p.Now(), bw); started {
+		if job.req < 0 {
+			c.predPend[qi]--
+		} else if c.admitted[job.req] {
+			continue // stale: the request no longer benefits
+		}
+		for _, key := range c.jobKeys(job, p.Now(), qi) {
+			if job.req >= 0 && c.admitted[job.req] {
+				break // admitted mid-job: stop moving its chunks
+			}
+			if arrival, started := store.Prefetch(key, p.Now(), bw); started {
 				p.SleepUntil(arrival)
 			}
 		}
 	}
 }
 
-// jobKeys resolves a job to store keys: a request job names its own
-// chunks; a predictive job asks the popularity estimator for the hottest
-// chunks currently stranded on a cold tier.
-func (c *cluster) jobKeys(job prefetchJob, now float64) []chunk.ID {
-	if job.ids == nil {
-		return c.pop.Top(now, predictiveFanout, func(id chunk.ID) bool {
-			return c.store.TierOf(id) > 0
+// jobKeys resolves a job to store keys on node qi: a request job names
+// its own chunks; a predictive job asks the node's popularity estimator
+// for the hottest chunks currently stranded on a cold tier.
+func (c *cluster) jobKeys(job prefetchJob, now float64, qi int) []chunk.ID {
+	if job.req < 0 {
+		return c.pops[qi].Top(now, predictiveFanout, func(id chunk.ID) bool {
+			return c.stores[qi].TierOf(id) > 0
 		})
 	}
 	keys := make([]chunk.ID, len(job.ids))
@@ -115,17 +134,17 @@ func (c *cluster) jobKeys(job prefetchJob, now float64) []chunk.ID {
 	return keys
 }
 
-// lookup resolves one chunk lookup against the store at virtual time now:
-// the legacy synchronous Get when prefetch is off, the transfer-aware
-// GetAt — which may join an in-flight promotion and report a residual
-// wait — plus a popularity touch when a prefetch policy is set.
-func (c *cluster) lookup(key chunk.ID, now float64) (tier int, wait float64, ok bool) {
+// lookup resolves one chunk lookup against node si's store at virtual
+// time now: the legacy synchronous Get when prefetch is off, the
+// transfer-aware GetAt — which may join an in-flight promotion and report
+// a residual wait — plus a popularity touch when a prefetch policy is set.
+func (c *cluster) lookup(si int, key chunk.ID, now float64) (tier int, wait float64, ok bool) {
 	if !c.prefetchOn {
-		_, tier, ok := c.store.Get(key)
+		_, tier, ok := c.stores[si].Get(key)
 		return tier, 0, ok
 	}
-	c.pop.Touch(key, now)
-	_, tier, wait, ok = c.store.GetAt(key, now)
+	c.pops[si].Touch(key, now)
+	_, tier, wait, ok = c.stores[si].GetAt(key, now)
 	return tier, wait, ok
 }
 

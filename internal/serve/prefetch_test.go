@@ -203,16 +203,16 @@ func TestServiceTimeTwoPassLookup(t *testing.T) {
 
 	c := &cluster{cfg: cfg}
 	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
-	c.store = newStore()
-	defer c.store.Close()
-	_, lookups, hits, _ := c.serviceTime([]int{2, 3, 1}, 0)
+	c.stores = []*kvstore.Tiered{newStore()}
+	defer c.stores[0].Close()
+	_, lookups, hits, _ := c.serviceTime(0, []int{2, 3, 1}, 0)
 	if lookups != 3 {
 		t.Fatalf("two-pass: got %d lookups, want 3", lookups)
 	}
 	if hits != 2 {
 		t.Errorf("two-pass: got %d hits, want 2 (chunks 1 and 2 were resident at admission)", hits)
 	}
-	if st := c.store.Stats(); st.Hits != 2 || st.Misses != 1 {
+	if st := c.stores[0].Stats(); st.Hits != 2 || st.Misses != 1 {
 		t.Errorf("two-pass store stats: got %d hits / %d misses, want 2 / 1", st.Hits, st.Misses)
 	}
 }
@@ -229,9 +229,9 @@ func TestServiceTimeTwoPassDupKeys(t *testing.T) {
 	}
 	c := &cluster{cfg: cfg}
 	c.chunkBytes = cfg.Spec.KVBytes(cfg.ChunkTokens)
-	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
-	defer c.store.Close()
-	_, lookups, hits, _ := c.serviceTime([]int{5, 5, 5}, 0)
+	c.stores = []*kvstore.Tiered{kvstore.MustTiered(c.buildTiers(), kvstore.LRU)}
+	defer c.stores[0].Close()
+	_, lookups, hits, _ := c.serviceTime(0, []int{5, 5, 5}, 0)
 	if lookups != 3 || hits != 2 {
 		t.Errorf("dup request: got %d lookups / %d hits, want 3 / 2 (miss, then two hits on the inserted copy)",
 			lookups, hits)

@@ -52,6 +52,7 @@ type member struct {
 	slice         int     // tokens granted for the current step
 	decoding      bool    // prefill finished, decode phase entered
 	lastToken     float64 // virtual time the latest token was emitted
+	si            int     // index of the store the request was admitted against
 	genKey        chunk.ID
 	genBytes      int64 // generated-KV footprint resident in the store
 	lookups, hits int64 // its chunk-store lookup outcome at admission
@@ -66,15 +67,19 @@ type tenantAcc struct {
 	lookups, hits int64
 }
 
-// cluster is the state of one simulated run.
+// cluster is the state of one simulated run. The store-shaped state —
+// stores, admission queues, popularity views, loader queues — is sliced
+// per replica: under the routed policies (hash, affinity) every replica
+// owns index r of each slice, its own node; under the shared topology the
+// slices have one element every replica shares, the legacy single node.
 type cluster struct {
 	cfg        Config
 	reqs       []request
 	warmup     int
 	cutoff     float64 // virtual time the warmup period ends
 	clock      *sim.Clock
-	queue      *sim.Queue[request]
-	store      *kvstore.Tiered
+	queues     []*sim.Queue[request]
+	stores     []*kvstore.Tiered
 	chunkBytes int64
 	tokenBytes int64   // generated KV bytes per decoded token
 	decodeUnit float64 // unbatched per-token decode step duration
@@ -83,8 +88,14 @@ type cluster struct {
 	budget     int  // the policy's per-step prefill token budget (0 = whole-chunk)
 	schedOn    bool // scheduling telemetry requested (explicit Config.Sched)
 	prefetchOn bool // prefetch telemetry requested (explicit Config.PrefetchPolicy)
-	pop        *kvstore.Popularity
-	pfQueue    *sim.Queue[prefetchJob] // loader work queue (active policies only)
+	routerOn   bool // router telemetry requested (explicit Config.Router)
+	isRouted   bool // per-replica stores with real routing (hash/affinity)
+	ring       *hashRing
+	pops       []*kvstore.Popularity
+	pfQueues   []*sim.Queue[prefetchJob] // loader work queues (active policies only)
+	admitted   []bool                    // request idx → already admitted (loader cancellation)
+	predPend   []int                     // queued predictive jobs per loader queue (dedupe)
+	inflight   []int                     // requests routed to each node, not yet retired
 
 	ttfts         []float64
 	tbts          []float64
@@ -99,11 +110,32 @@ type cluster struct {
 	batchHist     metrics.Histogram
 	depthSum      float64
 	depthN        int
+	depthSums     []float64 // per-replica depth sums at measured arrivals (routed)
+	replicaReqs   []int64   // requests each replica admitted (router telemetry)
 	// post-warmup step counts by batch composition
 	stepsPrefill, stepsDecode, stepsMixed int64
 	multiTenant                           bool
 	tenants                               map[int]*tenantAcc
 }
+
+// qi maps a replica index to its slot in the per-replica slices: its own
+// index under the routed policies, the single shared slot otherwise.
+func (c *cluster) qi(r int) int {
+	if c.isRouted {
+		return r
+	}
+	return 0
+}
+
+// measured reports whether a request belongs to the measured window. One
+// rule for every per-request sample — TTFT, TBT, E2E, completion,
+// prefill delay, tier stall, arrival-time queue depth: a request is
+// measured iff it arrives at or after the cutoff (the first post-warmup
+// request's arrival), so arrivals tying the cutoff timestamp are measured
+// regardless of index, and a warmup request admitted late contributes
+// nothing. Interval samples (observeStep) instead credit their
+// post-cutoff overlap, since a step is not owned by one request.
+func (c *cluster) measured(req request) bool { return req.arrival >= c.cutoff }
 
 // newCluster adopts a validated, arrival-ordered request stream.
 func newCluster(cfg Config, stream []workload.Request, warmup int) *cluster {
@@ -161,43 +193,101 @@ func (c *cluster) run() Result {
 	c.budget = c.policy.PrefillBudget()
 	c.schedOn = cfg.schedMetrics()
 	c.prefetchOn = cfg.prefetchOn()
-	c.store = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
-	defer c.store.Close()
-	if c.prefetchOn {
-		c.pop = kvstore.NewPopularity(popHalflife, popMaxEntries)
+	c.routerOn = cfg.routerOn()
+	c.isRouted = cfg.routed()
+	nodes := 1 // store-shaped state slots: one shared node, or one per replica
+	if c.isRouted {
+		nodes = cfg.replicas()
+	}
+	c.stores = make([]*kvstore.Tiered, nodes)
+	for i := range c.stores {
+		// Every node gets the full configured tier stack: a routed cluster
+		// is N nodes' worth of hardware, the shared baseline one node's.
+		c.stores[i] = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
+		defer c.stores[i].Close()
+	}
+	if c.prefetchOn || cfg.Router == RouterAffinity {
+		// One popularity estimator per node feeds predictive prefetch and
+		// affinity routing alike — the shared demand signal.
+		c.pops = make([]*kvstore.Popularity, nodes)
+		for i := range c.pops {
+			c.pops[i] = kvstore.NewPopularity(popHalflife, popMaxEntries)
+		}
+	}
+	if cfg.Router == RouterHash {
+		c.ring = newHashRing(nodes)
 	}
 
 	c.clock = sim.NewClock()
-	c.queue = sim.NewQueue[request](c.clock)
+	c.queues = make([]*sim.Queue[request], nodes)
+	for i := range c.queues {
+		c.queues[i] = sim.NewQueue[request](c.clock)
+	}
 	c.busy = make([]float64, cfg.replicas())
+	c.admitted = make([]bool, len(c.reqs))
+	if c.routerOn {
+		c.replicaReqs = make([]int64, cfg.replicas())
+	}
+	if c.isRouted {
+		c.depthSums = make([]float64, nodes)
+		c.inflight = make([]int, nodes)
+	}
 	if cfg.prefetchActive() {
-		c.pfQueue = sim.NewQueue[prefetchJob](c.clock)
+		c.pfQueues = make([]*sim.Queue[prefetchJob], nodes)
+		for i := range c.pfQueues {
+			c.pfQueues[i] = sim.NewQueue[prefetchJob](c.clock)
+		}
+		c.predPend = make([]int, nodes)
 	}
 
+	// A predictive promotion triggers when a node's queue is backed up
+	// past the workers draining it: every replica in the shared topology,
+	// exactly one under the routed policies.
+	predDepth := cfg.replicas()
+	if c.isRouted {
+		predDepth = 1
+	}
 	c.clock.Go("arrivals", func(p *sim.Proc) {
 		for _, r := range c.reqs {
 			p.SleepUntil(r.arrival)
-			// Sample the depth each post-warmup arrival finds, excluding
-			// itself (arrivals see time averages — PASTA); warmup-period
-			// arrivals are excluded like every other warmup sample.
-			if r.idx >= c.warmup {
-				c.depthSum += float64(c.queue.Len())
-				c.depthN++
+			t := c.route(r, p.Now())
+			if c.inflight != nil {
+				c.inflight[t]++
 			}
-			c.queue.Push(r)
-			if c.pfQueue != nil {
-				// The loaders start moving this request's chunks while it
-				// queues; under the predictive policy a backed-up queue
-				// additionally triggers a popularity-driven promotion.
-				c.pfQueue.Push(prefetchJob{ids: r.ids})
-				if cfg.PrefetchPolicy == PrefetchPredictive && c.queue.Len() > cfg.replicas() {
-					c.pfQueue.Push(prefetchJob{})
+			// Sample the depth each measured arrival finds on the queue it
+			// joins, excluding itself (arrivals see time averages — PASTA);
+			// warmup-period arrivals are excluded like every other warmup
+			// sample. Routed runs additionally sample every node's depth,
+			// the balance snapshot QueueSkew summarises.
+			if c.measured(r) {
+				c.depthSum += float64(c.queues[t].Len())
+				c.depthN++
+				for i, q := range c.queues {
+					if c.depthSums != nil {
+						c.depthSums[i] += float64(q.Len())
+					}
+				}
+			}
+			c.queues[t].Push(r)
+			if c.pfQueues != nil {
+				// The node's loader starts moving this request's chunks
+				// while it queues; under the predictive policy a backed-up
+				// queue additionally triggers a popularity-driven promotion
+				// — at most one queued per node (back-to-back triggers
+				// would rank the same hot set and promote it twice).
+				c.pfQueues[t].Push(prefetchJob{req: r.idx, ids: r.ids})
+				if cfg.PrefetchPolicy == PrefetchPredictive &&
+					c.queues[t].Len() > predDepth && c.predPend[t] == 0 {
+					c.predPend[t]++
+					c.pfQueues[t].Push(prefetchJob{req: -1})
 				}
 			}
 		}
-		c.queue.Close()
-		if c.pfQueue != nil {
-			c.pfQueue.Close()
+		for _, q := range c.queues {
+			q.Close()
+		}
+		for _, q := range c.pfQueues {
+			q.Close()
 		}
 	})
 	for r := 0; r < cfg.replicas(); r++ {
@@ -205,8 +295,10 @@ func (c *cluster) run() Result {
 		c.clock.Go(fmt.Sprintf("replica-%d", r), func(p *sim.Proc) {
 			c.replica(p, r)
 		})
-		if c.pfQueue != nil {
-			c.clock.Go(fmt.Sprintf("loader-%d", r), c.loader)
+		if c.pfQueues != nil {
+			c.clock.Go(fmt.Sprintf("loader-%d", r), func(p *sim.Proc) {
+				c.loader(p, r)
+			})
 		}
 	}
 	end := c.clock.Run()
@@ -223,19 +315,31 @@ func (c *cluster) run() Result {
 	if c.completed > 0 && window > 0 {
 		res.Throughput = float64(c.completed) / window
 	}
-	st := c.store.Stats()
+	// Store statistics aggregate across the nodes (a single shared store
+	// reduces to the legacy numbers bit for bit); per-tier rows sum the
+	// same tier index of every node's stack.
+	var st kvstore.Stats
+	for _, s := range c.stores {
+		ss := s.Stats()
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+	}
 	res.HitRate = st.HitRate()
 	res.Lookups = st.Hits + st.Misses
 	res.Misses = st.Misses
-	for _, ts := range c.store.TierStats() {
-		res.Tiers = append(res.Tiers, TierUsage{
-			Device:        ts.Device,
-			Hits:          ts.Hits,
-			HitRate:       metrics.Ratio(ts.Hits, res.Lookups),
-			Promotions:    ts.Promotions,
-			Demotions:     ts.Demotions,
-			BytesResident: ts.BytesResident,
-		})
+	for _, s := range c.stores {
+		for i, ts := range s.TierStats() {
+			if i == len(res.Tiers) {
+				res.Tiers = append(res.Tiers, TierUsage{Device: ts.Device})
+			}
+			res.Tiers[i].Hits += ts.Hits
+			res.Tiers[i].Promotions += ts.Promotions
+			res.Tiers[i].Demotions += ts.Demotions
+			res.Tiers[i].BytesResident += ts.BytesResident
+		}
+	}
+	for i := range res.Tiers {
+		res.Tiers[i].HitRate = metrics.Ratio(res.Tiers[i].Hits, res.Lookups)
 	}
 	if c.depthN > 0 {
 		res.MeanQueueDepth = c.depthSum / float64(c.depthN)
@@ -265,17 +369,60 @@ func (c *cluster) run() Result {
 		res.P95PrefillDelay = metrics.Percentile(c.prefillDelays, 95)
 	}
 	if c.prefetchOn {
-		pf := c.store.PrefetchStats()
+		var joins int64
 		res.TierStallTime = c.tierStall
-		res.PrefetchIssued = pf.Issued
-		res.PrefetchHits = pf.Hits
-		res.PrefetchWastedBytes = pf.BytesWasted
+		for _, s := range c.stores {
+			pf := s.PrefetchStats()
+			res.PrefetchIssued += pf.Issued
+			res.PrefetchHits += pf.Hits
+			res.PrefetchWastedBytes += pf.BytesWasted
+			joins += pf.InflightJoins
+		}
 		if len(res.Tiers) > 0 {
-			res.HBMHitRate = metrics.Ratio(res.Tiers[0].Hits+pf.InflightJoins, res.Lookups)
+			res.HBMHitRate = metrics.Ratio(res.Tiers[0].Hits+joins, res.Lookups)
+		}
+	}
+	if c.routerOn {
+		res.Router = cfg.Router
+		res.ReplicaHitRates = make([]float64, len(c.stores))
+		for i, s := range c.stores {
+			res.ReplicaHitRates[i] = s.Stats().HitRate()
+		}
+		res.ReplicaRequests = c.replicaReqs
+		res.LoadSkew = metrics.CoefVar(c.busy)
+		if c.isRouted {
+			if c.depthN > 0 {
+				means := make([]float64, len(c.depthSums))
+				for i, s := range c.depthSums {
+					means[i] = s / float64(c.depthN)
+				}
+				res.QueueSkew = metrics.CoefVar(means)
+			}
+			res.DuplicationBytes = c.duplicationBytes()
 		}
 	}
 	res.Tenants = c.tenantUsage()
 	return res
+}
+
+// duplicationBytes is the routed cluster's redundancy bill at run end:
+// the bytes resident beyond one copy per distinct chunk, summed across
+// every node's tier stack. Hash routing duplicates the chunks a request
+// straddles ownership over; affinity routing duplicates whatever two
+// replicas' clienteles share.
+func (c *cluster) duplicationBytes() int64 {
+	var total, unique int64
+	seen := make(map[chunk.ID]bool, c.stores[0].Len())
+	for _, s := range c.stores {
+		s.Each(func(id chunk.ID, bytes int64) {
+			total += bytes
+			if !seen[id] {
+				seen[id] = true
+				unique += bytes
+			}
+		})
+	}
+	return total - unique
 }
 
 // tenantUsage renders the per-tenant accumulators, ordered by tenant id.
@@ -309,21 +456,23 @@ func (c *cluster) tenantUsage() []TenantUsage {
 }
 
 // replica is one worker process: it keeps a running batch, admitting from
-// the shared queue under the scheduling policy and stepping every member
-// — prefilling or decoding — in lockstep, retiring completions at step
-// boundaries.
+// its node's admission queue (the shared queue in the legacy topology,
+// its own under the routed policies) under the scheduling policy and
+// stepping every member — prefilling or decoding — in lockstep, retiring
+// completions at step boundaries.
 func (c *cluster) replica(p *sim.Proc, r int) {
+	queue := c.queues[c.qi(r)]
 	var batch []*member
 	deferred := 0 // consecutive boundaries the policy held the door while work waited
 	for {
 		if len(batch) == 0 {
 			// Idle: block on the admission queue. Policies only gate
 			// top-ups — an empty replica always takes the next request.
-			req, ok := c.queue.Pop(p)
+			req, ok := queue.Pop(p)
 			if !ok {
 				return // queue closed and drained, batch empty — done
 			}
-			batch = append(batch, c.admit(req, p.Now()))
+			batch = append(batch, c.admit(req, p.Now(), r))
 			deferred = 0
 		}
 		// Continuous batching, join side: the policy decides how many of
@@ -345,16 +494,16 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 		}
 		admitted := 0
 		for admitted < quota {
-			req, ok := c.queue.TryPop()
+			req, ok := queue.TryPop()
 			if !ok {
 				break
 			}
-			batch = append(batch, c.admit(req, p.Now()))
+			batch = append(batch, c.admit(req, p.Now(), r))
 			admitted++
 		}
 		if admitted > 0 {
 			deferred = 0
-		} else if headroom > 0 && c.queue.Len() > 0 {
+		} else if headroom > 0 && queue.Len() > 0 {
 			deferred++ // work waited at an open door — age it
 		}
 		// Execute one step for every member in lockstep: the longest
@@ -460,15 +609,22 @@ func (c *cluster) stall(step float64, decoders, width int) float64 {
 }
 
 // admit computes the request's per-scheme prefill service time against
-// the shared store's current state and splits it into chunk-boundary
-// steps — or, under a budgeted policy, into token-granularity progress
-// over the same total service time; the decode budget rides along on
-// the member. now is the admission instant, sampled for the
-// prefill-delay telemetry.
-func (c *cluster) admit(req request, now float64) *member {
+// replica r's store at its current state and splits it into
+// chunk-boundary steps — or, under a budgeted policy, into
+// token-granularity progress over the same total service time; the decode
+// budget rides along on the member. now is the admission instant, sampled
+// for the prefill-delay telemetry. Marking the request admitted here is
+// what cancels its still-queued prefetch job: the tier reads are paid
+// now, so promoting its chunks afterwards could only waste transfers.
+func (c *cluster) admit(req request, now float64, r int) *member {
+	si := c.qi(r)
+	c.admitted[req.idx] = true
+	if c.replicaReqs != nil {
+		c.replicaReqs[r]++
+	}
 	steps := len(req.ids) + 1 // one per chunk, one for the query
-	service, lookups, hits, stall := c.serviceTime(req.ids, now)
-	m := &member{req: req, unit: service / float64(steps), remaining: steps,
+	service, lookups, hits, stall := c.serviceTime(si, req.ids, now)
+	m := &member{req: req, si: si, unit: service / float64(steps), remaining: steps,
 		lookups: lookups, hits: hits}
 	if c.budget > 0 {
 		m.prefTotal = len(req.ids)*c.cfg.ChunkTokens + c.cfg.QueryTokens
@@ -477,13 +633,14 @@ func (c *cluster) admit(req request, now float64) *member {
 	if req.decode > 0 {
 		m.genKey = genKey(c.cfg, req.idx)
 	}
-	// Telemetry sampled at admission uses the same unified time cutoff as
-	// every other metric (a warmup-indexed request admitted after the
-	// cutoff IS part of the measured window's load).
-	if c.schedOn && now > c.cutoff {
+	// Admission-time telemetry follows its request through the unified
+	// warmup rule: measured iff the request arrived at or after the
+	// cutoff, like TTFT — a warmup arrival admitted after the cutoff
+	// contributes nothing, a cutoff-tying arrival contributes everywhere.
+	if c.schedOn && c.measured(req) {
 		c.prefillDelays = append(c.prefillDelays, now-req.arrival)
 	}
-	if c.prefetchOn && now > c.cutoff {
+	if c.prefetchOn && c.measured(req) {
 		c.tierStall += stall
 	}
 	return m
@@ -558,15 +715,15 @@ func (c *cluster) observeStep(batch []*member, step, stall, now float64, r int) 
 }
 
 // firstToken marks the prefill→decode transition: TTFT is recorded here,
-// not at retirement, and the first token's KV lands in the shared store
-// for requests that will keep generating.
+// not at retirement, and the first token's KV lands in the member's
+// node's store for requests that will keep generating.
 func (c *cluster) firstToken(m *member, now float64) {
 	m.lastToken = now
 	if m.req.decode > 0 {
 		m.genBytes = c.tokenBytes
-		c.store.Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
+		c.stores[m.si].Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
 	}
-	if m.req.idx < c.warmup {
+	if !c.measured(m.req) {
 		return
 	}
 	ttft := now - m.req.arrival
@@ -582,8 +739,8 @@ func (c *cluster) firstToken(m *member, now float64) {
 // chunks for the fast tiers is what makes decode-phase KV pressure real.
 func (c *cluster) token(m *member, now float64) {
 	m.genBytes += c.tokenBytes
-	c.store.Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
-	if m.req.idx >= c.warmup {
+	c.stores[m.si].Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
+	if c.measured(m.req) {
 		tbt := now - m.lastToken
 		c.tbts = append(c.tbts, tbt)
 		if c.multiTenant {
@@ -598,9 +755,12 @@ func (c *cluster) token(m *member, now float64) {
 // completion statistics.
 func (c *cluster) retire(m *member, now float64) {
 	if m.req.decode > 0 {
-		c.store.Remove(m.genKey)
+		c.stores[m.si].Remove(m.genKey)
 	}
-	if m.req.idx < c.warmup {
+	if c.inflight != nil {
+		c.inflight[m.si]--
+	}
+	if !c.measured(m.req) {
 		return
 	}
 	c.completed++

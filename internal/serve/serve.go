@@ -131,6 +131,18 @@ type Config struct {
 	// source tier's read bandwidth, in (0, 1]; 0 uses the full device.
 	// Setting it requires an active prefetch policy.
 	PrefetchBW float64
+	// Router selects the replica-routing topology: "" (legacy shared
+	// store, no router telemetry), RouterShared (the same single-node
+	// schedule with the router telemetry populated), RouterHash
+	// (per-replica tier stacks, consistent chunk→replica hashing) or
+	// RouterAffinity (per-replica tier stacks, overlap-scored routing
+	// reusing the popularity estimator the predictive prefetcher ranks
+	// with). The routed policies give every replica the full configured
+	// tier stack — each replica models a node with its own hardware, so
+	// a routed cluster has replicas× the shared baseline's aggregate
+	// capacity, the way scaling out adds HBM — and require a
+	// chunk-reusing scheme (FullKVReuse or CacheBlend).
+	Router string
 	// ChunkPool is the number of distinct chunks in the corpus.
 	ChunkPool int
 	// ChunksPerRequest is how many chunks each request retrieves.
@@ -280,6 +292,9 @@ func (c Config) Validate() error {
 	if err := c.validatePrefetch(); err != nil {
 		return err
 	}
+	if err := c.validateRouter(); err != nil {
+		return err
+	}
 	tiers := c.tierConfigs()
 	for i, tc := range tiers {
 		if err := tc.Device.Validate(); err != nil {
@@ -383,6 +398,30 @@ type Result struct {
 	// HBMHitRate is the effective top-tier hit rate: lookups served from
 	// HBM or from a transfer already flying toward it, over all lookups.
 	HBMHitRate float64 `json:",omitempty"`
+	// Cluster-routing telemetry, populated only when Config.Router names
+	// a policy explicitly ("shared" included — the single-node baseline
+	// with the telemetry on, so router sweeps compare like against like).
+	//
+	// Router echoes the policy the run used.
+	Router string `json:",omitempty"`
+	// ReplicaHitRates is each replica store's KV hit rate over its own
+	// lookups — one entry per replica under the routed policies, a
+	// single entry for the shared store otherwise.
+	ReplicaHitRates []float64 `json:",omitempty"`
+	// ReplicaRequests counts the requests each replica admitted into a
+	// batch over the whole run (warmup included — it describes placement,
+	// not service quality).
+	ReplicaRequests []int64 `json:",omitempty"`
+	// LoadSkew is the coefficient of variation of per-replica busy time
+	// (0 = perfectly balanced). QueueSkew is the same statistic over the
+	// per-replica mean queue depths sampled at each measured arrival —
+	// routed policies only, the shared baseline has a single queue.
+	LoadSkew  float64 `json:",omitempty"`
+	QueueSkew float64 `json:",omitempty"`
+	// DuplicationBytes is what the routed policies pay for per-replica
+	// independence: bytes resident on more than one replica's tier stack
+	// at run end, summed over the extra copies.
+	DuplicationBytes int64 `json:",omitempty"`
 	// Lookups is the total chunk-store lookup count; Misses is how many
 	// missed every tier. Sum of per-tier Hits plus Misses equals Lookups.
 	Lookups, Misses int64
@@ -510,11 +549,11 @@ func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Re
 }
 
 // serviceTime computes one request's prefill service time under the
-// scheme, updating the KV store, and reports the request's store lookup
-// and hit counts for per-tenant accounting plus its tier-read stall (the
-// priced cost beyond an all-HBM request, computed only under a prefetch
-// policy). It is evaluated when the request is admitted into a replica's
-// batch, against the store's state at that moment, and sizes the prompt
+// scheme, updating replica si's KV store, and reports the request's store
+// lookup and hit counts for per-tenant accounting plus its tier-read
+// stall (the priced cost beyond an all-HBM request, computed only under a
+// prefetch policy). It is evaluated when the request is admitted into a
+// replica's batch, against the store's state at that moment, and sizes the prompt
 // from the request's own chunk list — trace-replayed requests may
 // retrieve any number of chunks. Hits are charged the read time of the
 // tier the chunk was found on — or, for a chunk whose promotion is
@@ -526,8 +565,8 @@ func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Re
 // the store's pre-request state before any miss is inserted — so a
 // miss-insert can no longer demote or evict a chunk the same request
 // already counted (and priced) as a hit at a now-wrong tier.
-func (c *cluster) serviceTime(ids []int, now float64) (secs float64, lookups, hits int64, stall float64) {
-	cfg, store, chunkBytes := c.cfg, c.store, c.chunkBytes
+func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, lookups, hits int64, stall float64) {
+	cfg, store, chunkBytes := c.cfg, c.stores[si], c.chunkBytes
 	L := len(ids)*cfg.ChunkTokens + cfg.QueryTokens
 	spec := cfg.Spec
 	switch cfg.Scheme {
@@ -560,14 +599,14 @@ func (c *cluster) serviceTime(ids []int, now float64) (secs float64, lookups, hi
 				dupKeys = append(dupKeys, key)
 				continue
 			}
-			tier, wait, ok := c.lookup(key, now)
+			tier, wait, ok := c.lookup(si, key, now)
 			if !ok {
 				pending[key] = true
 				missKeys = append(missKeys, key)
 				continue
 			}
 			found++
-			if wait > 0 && wait+c.chunkCost(0) <= c.chunkCost(tier) {
+			if wait > 0 && wait+c.chunkCost(si, 0) <= c.chunkCost(si, tier) {
 				// In-flight join: pay the transfer's remaining time, then
 				// read the chunk where it is landing — the top tier. Only
 				// when that beats reading the source tier directly: the
@@ -582,7 +621,7 @@ func (c *cluster) serviceTime(ids []int, now float64) (secs float64, lookups, hi
 			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
 		}
 		for _, key := range dupKeys {
-			if tier, _, ok := c.lookup(key, now); ok {
+			if tier, _, ok := c.lookup(si, key, now); ok {
 				found++
 				tierChunks[tier]++
 			}
@@ -597,7 +636,7 @@ func (c *cluster) serviceTime(ids []int, now float64) (secs float64, lookups, hi
 			}
 			loadCost += waitCost
 			return loadCost + missCost + spec.DecodeSecPerToken, lookups, hits,
-				c.reuseStall(loadCost, tierChunks, found)
+				c.reuseStall(si, loadCost, tierChunks, found)
 		}
 		// CacheBlend: selective recompute of the reused tokens, pipelined
 		// with their loading (§5) per the engine's loader/fusor schedule,
@@ -613,18 +652,18 @@ func (c *cluster) serviceTime(ids []int, now float64) (secs float64, lookups, hi
 		}
 		blendCost += waitCost
 		return blendCost + missCost + spec.DecodeSecPerToken, lookups, hits,
-			c.reuseStall(blendCost, tierChunks, found)
+			c.reuseStall(si, blendCost, tierChunks, found)
 
 	default:
 		panic(fmt.Sprintf("serve: scheme %q is not a serving mode", cfg.Scheme))
 	}
 }
 
-// chunkCost prices reusing one resident chunk off the given tier under
-// the config's scheme — the per-chunk comparison deciding whether an
-// in-flight join beats a synchronous source-tier read.
-func (c *cluster) chunkCost(tier int) float64 {
-	d := c.store.TierDevice(tier)
+// chunkCost prices reusing one resident chunk off the given tier of
+// replica si's store under the config's scheme — the per-chunk comparison
+// deciding whether an in-flight join beats a synchronous source-tier read.
+func (c *cluster) chunkCost(si, tier int) float64 {
+	d := c.stores[si].TierDevice(tier)
 	if c.cfg.Scheme == baselines.FullKVReuse {
 		return d.ReadTime(c.chunkBytes)
 	}
@@ -636,11 +675,11 @@ func (c *cluster) chunkCost(tier int) float64 {
 // every one been HBM-resident — the hypothetical cost is computed through
 // the same per-tier pricing with all hits moved to tier 0, so fixed
 // per-tier latency terms cancel. Zero when the prefetch telemetry is off.
-func (c *cluster) reuseStall(cost float64, tierChunks []int, found int) float64 {
+func (c *cluster) reuseStall(si int, cost float64, tierChunks []int, found int) float64 {
 	if !c.prefetchOn {
 		return 0
 	}
-	cfg, store := c.cfg, c.store
+	cfg, store := c.cfg, c.stores[si]
 	hot := make([]int, len(tierChunks))
 	hot[0] = found
 	var hotCost float64
