@@ -469,6 +469,48 @@ func BenchmarkServeRouted(b *testing.B) {
 	}
 }
 
+// BenchmarkServeFailover is the routed scenario under membership churn:
+// one replica killed mid-run (its queues drain back through the router)
+// and a cold replica joined later. The ~37 s stream puts both events in
+// the measured window, so the number prices the kill drain, the ring
+// surgery and the joined node's spin-up on top of routing itself.
+func BenchmarkServeFailover(b *testing.B) {
+	spec := timing.Mistral7B
+	chunkBytes := spec.KVBytes(512)
+	cfg := serve.Config{
+		Spec: spec, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Replicas: 4, MaxBatch: 4, ChunkTokens: 512, QueryTokens: 128,
+		Tiers: []serve.TierConfig{
+			{Device: device.GPUHBM, Capacity: 8 * chunkBytes},
+			{Device: device.CPURAM, Capacity: 48 * chunkBytes},
+			{Device: device.SlowSSD},
+		},
+		Events: []serve.MembershipEvent{{At: 15, Kill: 1}, {At: 26, Join: 1}},
+	}
+	mix := make([]workload.Workload, 4)
+	for i := range mix {
+		mix[i] = workload.Bursty{Rate: 2.0, Burst: 4,
+			Chunks: workload.Chunks{Pool: 48, PerRequest: 6, Skew: 1.1, Offset: i * 48}}
+	}
+	w := workload.MultiTenant{Tenants: mix}
+	for _, policy := range []string{serve.RouterShared, serve.RouterHash, serve.RouterAffinity} {
+		policy := policy
+		b.Run(policy, func(b *testing.B) {
+			c := cfg
+			c.Router = policy
+			var recovery float64
+			for i := 0; i < b.N; i++ {
+				res, err := serve.RunWorkload(c, w, 300, 50, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovery = res.RecoveryTime
+			}
+			b.ReportMetric(recovery, "recovery-s")
+		})
+	}
+}
+
 // ---- Ablation benches (DESIGN.md design-choice list) ---------------------
 
 func BenchmarkAblationGradualFilterOn(b *testing.B) {

@@ -19,7 +19,8 @@
 //
 // With -compare the parsed run is additionally checked against a previous
 // PR's committed JSON, and the process exits 1 when a gated serving
-// benchmark (ServeReplicas, ServeTiered, ServeSched) regressed in ns/op
+// benchmark (ServeReplicas, ServeTiered, ServeSched, ServeRouted,
+// ServeFailover) regressed in ns/op
 // beyond the threshold — the in-repo bench trajectory doubles as a CI
 // regression gate:
 //
@@ -58,6 +59,7 @@ var gatedPrefixes = []string{
 	"BenchmarkServeTiered",
 	"BenchmarkServeSched",
 	"BenchmarkServeRouted",
+	"BenchmarkServeFailover",
 }
 
 func main() {

@@ -18,6 +18,7 @@
 //	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:24,nvme-ssd:0 -prefetch predictive -workload bursty -burst 24 -rates 0.5 -v
 //	cacheblend-serve -tiers gpu-hbm:8,cpu-ram:24,nvme-ssd:0 -prefetch on-enqueue -prefetch-bw 0.5 -rates 0.5
 //	cacheblend-serve -router affinity -replicas 4 -tiers gpu-hbm:8,cpu-ram:48,slow-ssd:0 -tenants 4 -rates 8 -v
+//	cacheblend-serve -router affinity -replicas 4 -tiers gpu-hbm:8,cpu-ram:48,slow-ssd:0 -tenants 4 -rates 16 -kill 15:1 -join 26:1 -v
 //	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
 //	cacheblend-serve -trace run.jsonl     # bit-identical replay
 package main
@@ -26,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -57,6 +59,8 @@ func main() {
 		router    = flag.String("router", "", "replica-routing policy (shared, hash, affinity); empty = legacy shared store without router telemetry; hash/affinity give each replica its own tier stack")
 		prefBW    = flag.Float64("prefetch-bw", 0, "loader bandwidth budget as a fraction of the source tier's read bandwidth in (0,1] (0 = full bandwidth; requires an active -prefetch policy)")
 		shards    = flag.Int("shards", 0, "KV store shards (0 = default)")
+		killSpec  = flag.String("kill", "", "membership kills as time:replica pairs, e.g. 15:1,40:2 (times in simulated seconds)")
+		joinSpec  = flag.String("join", "", "membership joins as time:count pairs, e.g. 26:1 (cold replicas added at the time)")
 		n         = flag.Int("n", 1500, "requests per rate point")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		verbose   = flag.Bool("v", false, "print per-replica utilization, batch histograms and per-tenant stats")
@@ -115,6 +119,13 @@ func main() {
 		ChunkTokens:      *chunkTok,
 		QueryTokens:      32,
 		Skew:             0.8,
+	}
+	if *killSpec != "" || *joinSpec != "" {
+		events, err := parseEvents(*killSpec, *joinSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Events = events
 	}
 	if *capacity > 0 {
 		cfg.StoreCapacity = int64(*capacity) * spec.KVBytes(*chunks**chunkTok)
@@ -263,6 +274,10 @@ func printResult(res serve.Result, verbose bool) {
 		}
 		fmt.Println(line)
 	}
+	if res.Failovers > 0 || res.ReroutedRequests > 0 {
+		fmt.Printf("  failover kills=%d rerouted=%d rewarm-stall=%.2fs recovery=%.2fs\n",
+			res.Failovers, res.ReroutedRequests, res.ReWarmStall, res.RecoveryTime)
+	}
 	if res.HBMHitRate > 0 || res.TierStallTime > 0 {
 		line := fmt.Sprintf("  prefetch tier-stall=%.2fs hbm-hit=%.0f%%",
 			res.TierStallTime, res.HBMHitRate*100)
@@ -274,6 +289,53 @@ func printResult(res serve.Result, verbose bool) {
 		}
 		fmt.Println(line)
 	}
+}
+
+// parseEvents turns the -kill ("time:replica,...") and -join
+// ("time:count,...") specs into one membership schedule sorted by time
+// (kills before joins on ties, matching the flags' reading order). The
+// schedule itself is validated by Config.Validate.
+func parseEvents(killSpec, joinSpec string) ([]serve.MembershipEvent, error) {
+	var events []serve.MembershipEvent
+	parse := func(spec, what string) ([][2]float64, error) {
+		var out [][2]float64
+		for _, part := range strings.Split(spec, ",") {
+			ts, vs, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				return nil, fmt.Errorf("bad %s event %q: want time:%s", what, part, what)
+			}
+			at, err := strconv.ParseFloat(strings.TrimSpace(ts), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s time %q: %v", what, ts, err)
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(vs))
+			if err != nil {
+				return nil, fmt.Errorf("bad %s value %q: %v", what, vs, err)
+			}
+			out = append(out, [2]float64{at, float64(v)})
+		}
+		return out, nil
+	}
+	if killSpec != "" {
+		kills, err := parse(killSpec, "replica")
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kills {
+			events = append(events, serve.MembershipEvent{At: k[0], Kill: int(k[1])})
+		}
+	}
+	if joinSpec != "" {
+		joins, err := parse(joinSpec, "count")
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range joins {
+			events = append(events, serve.MembershipEvent{At: j[0], Join: int(j[1])})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
 }
 
 // parseTiers turns "gpu-hbm:8,cpu-ram:64,nvme-ssd:0" into tier configs,

@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch", "router"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch", "router", "failover"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -381,5 +381,40 @@ func TestPrefetchSweepShape(t *testing.T) {
 		if row[0] == "off" && cell(t, tab, 0, "accuracy") != "-" && row[6] != "-" {
 			t.Fatalf("off row reports prefetch accuracy %q", row[6])
 		}
+	}
+}
+
+func TestFailoverSweepShape(t *testing.T) {
+	tab := FailoverSweep(600)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 rows (one per routing policy), got %d", len(tab.Rows))
+	}
+	get := func(policy, col string) float64 {
+		for i, row := range tab.Rows {
+			if row[0] == policy {
+				return num(t, cell(t, tab, i, col))
+			}
+		}
+		t.Fatalf("row %s missing", policy)
+		return 0
+	}
+	// Every policy sees the same kill, and the routed policies drain a
+	// real backlog off the dead node.
+	for _, policy := range []string{"hash", "affinity"} {
+		if r := get(policy, "rerouted"); r <= 0 {
+			t.Fatalf("%s re-routed %.1f requests, want > 0 (the kill drains a backlog)", policy, r)
+		}
+		if rec := get(policy, "recovery(s)"); rec <= 0 {
+			t.Fatalf("%s recovery %.2f, want > 0", policy, rec)
+		}
+	}
+	// The headline claim: affinity re-scores the orphaned tenant onto
+	// overlapping survivors, so it re-warms cheaper and recovers faster
+	// than ring-successor hashing.
+	if a, h := get("affinity", "recovery(s)"), get("hash", "recovery(s)"); a >= h {
+		t.Fatalf("affinity recovery %.2f s not below hash %.2f s", a, h)
+	}
+	if a, h := get("affinity", "rewarm(s)"), get("hash", "rewarm(s)"); a >= h {
+		t.Fatalf("affinity re-warm stall %.2f s not below hash %.2f s", a, h)
 	}
 }

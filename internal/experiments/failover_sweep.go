@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strconv"
+
+	"repro/internal/baselines"
+	"repro/internal/device"
+	"repro/internal/serve"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// FailoverSweep measures elasticity under the RouterSweep scenario: the
+// same four-tenant bursty Zipf traffic over per-replica tier stacks, but
+// with a membership schedule — replica 1 is killed at 40% of the trace
+// and a cold replica joins at 70% — applied identically under each
+// routing policy. The tenant rate is hotter than RouterSweep's so the
+// cluster carries a real backlog: a kill against idle queues has nothing
+// to re-route, and a cold joined node only attracts traffic once the
+// incumbents' in-flight penalty outweighs their resident-chunk affinity.
+//
+// What the table shows: hashing reroutes the dead node's traffic to ring
+// successors that have never seen those chunks, so every re-routed
+// request pays cold tier reads (re-warm stall) until the survivors'
+// caches converge; affinity re-scores the orphaned tenant onto the
+// survivor with the most overlap — usually a node already serving
+// neighbouring chunks of the same corpus — so its windowed TTFT returns
+// to the pre-kill band sooner. The shared baseline loses a worker but no
+// cache state, the bound for how much of the disruption is capacity loss
+// versus locality loss.
+func FailoverSweep(requests int) *Table {
+	if requests <= 0 {
+		requests = 600
+	}
+	warmup := requests / 6
+	const (
+		tenants = 4
+		pool    = 48
+		per     = 6
+		skew    = 1.1
+		rate    = 4.0 // per tenant; hot enough that queues back up
+	)
+	spec := timing.Mistral7B
+	chunkBytes := spec.KVBytes(512)
+	cfg := serve.Config{
+		Spec:     spec,
+		Scheme:   baselines.CacheBlend,
+		Ratio:    0.15,
+		Replicas: tenants,
+		MaxBatch: 4,
+		Tiers: []serve.TierConfig{
+			{Device: device.GPUHBM, Capacity: 8 * chunkBytes},
+			{Device: device.CPURAM, Capacity: pool * chunkBytes},
+			{Device: device.SlowSSD},
+		},
+		ChunkTokens: 512,
+		QueryTokens: 128,
+	}
+	policies := []string{serve.RouterShared, serve.RouterHash, serve.RouterAffinity}
+
+	t := &Table{
+		Title: "Failover sweep: kill at 40% + cold join at 70% of the trace, per routing policy (multi-tenant bursty Zipf, Mistral-7B, CacheBlend)",
+		Header: []string{"router", "mean-ttft(s)", "p95-ttft(s)", "rerouted",
+			"rewarm(s)", "recovery(s)", "hit"},
+		Notes: []string{
+			strconv.Itoa(tenants) + " tenants × disjoint " + strconv.Itoa(pool) + "-chunk corpora (Zipf " +
+				f2(skew) + ", burst 4, " + f2(rate) + " req/s per tenant)",
+			"replica 1 killed at 40% of the trace; one cold replica joins at 70% (same schedule under every policy)",
+			"rerouted = requests drained from the dead node's queues and re-admitted through the router, original arrivals kept",
+			"rewarm = tier-read stall attributable to re-routed requests — the cost of warming the survivors' caches",
+			"recovery = time from the kill until 1 s-windowed mean TTFT returns within 20% of the pre-kill mean",
+			"shared = one store, so a kill is pure capacity loss: the bound separating capacity from locality damage",
+			"requests per cell: " + strconv.Itoa(requests) + ", first " + strconv.Itoa(warmup) +
+				" excluded as warmup; every cell averages 3 seeds",
+		},
+	}
+	seeds := []int64{1, 2, 3}
+	for _, policy := range policies {
+		c := cfg
+		c.Router = policy
+		var ttft, p95, rerouted, rewarm, recovery, hit float64
+		for _, seed := range seeds {
+			mix := make([]workload.Workload, tenants)
+			for i := range mix {
+				mix[i] = workload.Bursty{Rate: rate, Burst: 4,
+					Chunks: workload.Chunks{Pool: pool, PerRequest: per, Skew: skew, Offset: i * pool}}
+			}
+			w := workload.MultiTenant{Tenants: mix}
+			// The membership schedule tracks each seed's own horizon so the
+			// kill and join land at the same trace fractions for every seed.
+			horizon := lastArrival(w, requests, seed)
+			c.Events = []serve.MembershipEvent{
+				{At: 0.4 * horizon, Kill: 1},
+				{At: 0.7 * horizon, Join: 1},
+			}
+			res, err := serve.RunWorkload(c, w, requests, warmup, seed)
+			if err != nil {
+				panic("experiments: failover sweep: " + err.Error())
+			}
+			ttft += res.MeanTTFT
+			p95 += res.P95TTFT
+			rerouted += float64(res.ReroutedRequests)
+			rewarm += res.ReWarmStall
+			recovery += res.RecoveryTime
+			hit += res.HitRate
+		}
+		n := float64(len(seeds))
+		t.Rows = append(t.Rows, []string{
+			policy, f3(ttft / n), f3(p95 / n), f2(rerouted / n),
+			f2(rewarm / n), f2(recovery / n), pct(hit / n),
+		})
+	}
+	return t
+}
+
+// lastArrival reports the horizon of the first n requests w yields under
+// seed — the anchor the membership schedule's trace fractions scale from.
+func lastArrival(w workload.Workload, n int, seed int64) float64 {
+	reqs := w.Generate(n, seed)
+	return reqs[len(reqs)-1].Arrival
+}

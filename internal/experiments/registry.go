@@ -56,6 +56,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{PrefetchSweep(o.Requests)} }},
 		{"router", "cache-affinity replica routing: shared vs hash vs affinity on multi-tenant bursty traffic",
 			func(o RunOpts) []*Table { return []*Table{RouterSweep(o.Requests)} }},
+		{"failover", "replica failure and scale-out: membership kill/join, re-routing and re-warm cost per routing policy",
+			func(o RunOpts) []*Table { return []*Table{FailoverSweep(o.Requests)} }},
 	}
 }
 

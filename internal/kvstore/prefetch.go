@@ -231,6 +231,28 @@ func (t *Tiered) completeLocked(tr *transfer) {
 	}
 }
 
+// Drain cancels every in-flight transfer and reports how many it
+// aborted — the close semantics for a node that dies mid-run: its
+// loader stops issuing, and the bytes already streaming toward the top
+// tier count as wasted unless a join read them. The store itself stays
+// readable (run-end statistics still aggregate over dead nodes); only
+// the transfer table empties. Transfers are cancelled in issue order so
+// the waste accounting is deterministic.
+func (t *Tiered) Drain() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, tr := range t.flightQ {
+		if tr.cancelled {
+			continue
+		}
+		t.cancelLocked(tr.id)
+		n++
+	}
+	t.flightQ = t.flightQ[:0]
+	return n
+}
+
 // cancelLocked aborts id's in-flight transfer, if any: Put supersedes the
 // copy being moved, Remove releases the key outright. Bytes already
 // streaming count as wasted unless a join read them.

@@ -46,6 +46,11 @@ type goldenCase struct {
 	// store; the routed cases lock the ring ownership and affinity-score
 	// schedules plus the skew/duplication telemetry).
 	Router string
+	// Failover adds a membership schedule — kill one replica at ~40% of
+	// the trace, join a cold one at ~70% — locking the drain/re-route
+	// order and the failover telemetry (Failovers, ReroutedRequests,
+	// ReWarmStall, RecoveryTime).
+	Failover bool
 }
 
 func goldenCases() []goldenCase {
@@ -126,6 +131,17 @@ func goldenCases() []goldenCase {
 				Replicas: 4, Tiered: true, Seed: seed, Workload: "multi-tenant", Router: router})
 		}
 	}
+	// Failover cases: the router cases re-run under a membership schedule
+	// (kill + cold join), locking the queue-drain order, the ring surgery
+	// and the re-warm/recovery accounting per policy.
+	for _, router := range []string{RouterShared, RouterHash, RouterAffinity} {
+		for _, seed := range []int64{1, 7} {
+			name := "cacheblend/r4/tiered/multi-tenant/failover-" + router + "/seed" + strconv.FormatInt(seed, 10)
+			cases = append(cases, goldenCase{Name: name, Scheme: baselines.CacheBlend,
+				Replicas: 4, Tiered: true, Seed: seed, Workload: "multi-tenant", Router: router,
+				Failover: true})
+		}
+	}
 	return cases
 }
 
@@ -180,6 +196,11 @@ func (gc goldenCase) config() Config {
 		ChunkTokens:      512,
 		QueryTokens:      32,
 		Skew:             0.9,
+	}
+	if gc.Failover {
+		// ~285 s trace, warmup cutoff ~115 s: both events land in the
+		// measured window.
+		cfg.Events = []MembershipEvent{{At: 120, Kill: 1}, {At: 200, Join: 1}}
 	}
 	total := int64(60) * cfg.Spec.KVBytes(cfg.ChunkTokens)
 	if gc.Tiered {

@@ -146,6 +146,41 @@ func newHashRing(n int) *hashRing {
 	return ring
 }
 
+// remove deletes replica r's virtual nodes from the ring — the
+// membership-kill path. Only the dead replica's points leave, so every
+// chunk a survivor owned keeps its owner (the stability property
+// TestHashRingStability pins); chunks the dead replica owned fall to
+// the next live point clockwise.
+func (h *hashRing) remove(replica int) {
+	pts := h.points[:0]
+	for _, pt := range h.points {
+		if pt.replica != replica {
+			pts = append(pts, pt)
+		}
+	}
+	h.points = pts
+}
+
+// add inserts replica r's virtual nodes — the membership-join path. The
+// points are exactly the ones newHashRing would have given index r, so
+// ownership moves only onto the newcomer and a ring that removes then
+// re-adds a replica is restored bit for bit.
+func (h *hashRing) add(replica int) {
+	for v := 0; v < ringVnodes; v++ {
+		id := chunk.Hash("router/vnode", []int{replica, v})
+		h.points = append(h.points, ringPoint{
+			hash:    binary.LittleEndian.Uint64(id[:8]),
+			replica: replica,
+		})
+	}
+	sort.Slice(h.points, func(i, j int) bool {
+		if h.points[i].hash != h.points[j].hash {
+			return h.points[i].hash < h.points[j].hash
+		}
+		return h.points[i].replica < h.points[j].replica
+	})
+}
+
 // owner returns the replica owning id on the ring.
 func (h *hashRing) owner(id chunk.ID) int {
 	key := binary.LittleEndian.Uint64(id[:8])
@@ -174,19 +209,41 @@ func (c *cluster) route(req request, now float64) int {
 }
 
 // routeHash routes to the plurality owner of the request's chunk set,
-// breaking ties toward the lowest replica index. A chunkless request
-// (possible in replayed traces) falls back to round-robin by index.
+// breaking ties toward the lowest live replica index. A chunkless
+// request (possible in replayed traces) has no owner to hash toward and
+// goes to the least-loaded live node — indexing by request count was
+// both stale under membership change (the node count moves) and blind
+// to load.
 func (c *cluster) routeHash(req request) int {
 	if len(req.ids) == 0 {
-		return req.idx % len(c.queues)
+		return c.leastLoaded()
 	}
 	counts := make([]int, len(c.queues))
 	for _, id := range req.ids {
 		counts[c.ring.owner(chunkKey(c.cfg, id))]++
 	}
-	best := 0
+	best := -1
 	for r, n := range counts {
-		if n > counts[best] {
+		if c.dead[r] {
+			continue
+		}
+		if best < 0 || n > counts[best] {
+			best = r
+		}
+	}
+	return best
+}
+
+// leastLoaded returns the live node with the fewest requests in flight
+// (routed, not yet retired), lowest index on ties — the placement for
+// requests with no chunk set to route by.
+func (c *cluster) leastLoaded() int {
+	best := -1
+	for r := range c.queues {
+		if c.dead[r] {
+			continue
+		}
+		if best < 0 || c.inflight[r] < c.inflight[best] {
 			best = r
 		}
 	}
@@ -203,8 +260,11 @@ func (c *cluster) routeAffinity(req request, now float64) int {
 	for i, id := range req.ids {
 		keys[i] = chunkKey(c.cfg, id)
 	}
-	best, bestScore := 0, 0.0
+	best, bestScore := -1, 0.0
 	for r := range c.queues {
+		if c.dead[r] {
+			continue // a killed node never scores, whatever it still holds
+		}
 		score := -affinityLoadPenalty * float64(c.inflight[r])
 		for _, key := range keys {
 			if c.stores[r].Contains(key) {
@@ -218,7 +278,7 @@ func (c *cluster) routeAffinity(req request, now float64) int {
 				score += affinityPopWeight * s
 			}
 		}
-		if r == 0 || score > bestScore {
+		if best < 0 || score > bestScore {
 			best, bestScore = r, score
 		}
 	}

@@ -96,6 +96,13 @@ type cluster struct {
 	admitted   []bool                    // request idx → already admitted (loader cancellation)
 	predPend   []int                     // queued predictive jobs per loader queue (dedupe)
 	inflight   []int                     // requests routed to each node, not yet retired
+	eventsOn   bool                      // a membership-event schedule is configured
+	dead       []bool                    // replica index → killed by a membership event
+	rerouted   []bool                    // request idx → re-enqueued by a kill (events only)
+	failovers  int                       // kill events fired
+	reroutedN  int64                     // requests drained off dead nodes and re-routed
+	firstKill  float64                   // virtual time of the first kill (-1 = none yet)
+	ttftAt     []float64                 // first-token timestamps matching ttfts (events only)
 
 	ttfts         []float64
 	tbts          []float64
@@ -103,6 +110,7 @@ type cluster struct {
 	prefillDelays []float64 // arrival → batch admission, post-warmup
 	stallTime     float64   // decoder-seconds lost to prefill pacing
 	tierStall     float64   // prefill seconds lost to non-HBM tier reads
+	reWarmStall   float64   // tier stall paid by measured re-routed requests
 	outTokens     int64
 	completed     int
 	lastDone      float64
@@ -204,8 +212,14 @@ func (c *cluster) run() Result {
 		// Every node gets the full configured tier stack: a routed cluster
 		// is N nodes' worth of hardware, the shared baseline one node's.
 		c.stores[i] = kvstore.MustTiered(c.buildTiers(), kvstore.LRU)
-		defer c.stores[i].Close()
 	}
+	// One deferred sweep instead of per-store defers: membership joins
+	// append stores mid-run, and those must close too.
+	defer func() {
+		for _, s := range c.stores {
+			s.Close()
+		}
+	}()
 	if c.prefetchOn || cfg.Router == RouterAffinity {
 		// One popularity estimator per node feeds predictive prefetch and
 		// affinity routing alike — the shared demand signal.
@@ -225,6 +239,12 @@ func (c *cluster) run() Result {
 	}
 	c.busy = make([]float64, cfg.replicas())
 	c.admitted = make([]bool, len(c.reqs))
+	c.dead = make([]bool, cfg.replicas())
+	c.eventsOn = cfg.hasEvents()
+	c.firstKill = -1
+	if c.eventsOn {
+		c.rerouted = make([]bool, len(c.reqs))
+	}
 	if c.routerOn {
 		c.replicaReqs = make([]int64, cfg.replicas())
 	}
@@ -240,48 +260,27 @@ func (c *cluster) run() Result {
 		c.predPend = make([]int, nodes)
 	}
 
-	// A predictive promotion triggers when a node's queue is backed up
-	// past the workers draining it: every replica in the shared topology,
-	// exactly one under the routed policies.
-	predDepth := cfg.replicas()
-	if c.isRouted {
-		predDepth = 1
-	}
+	// The control process interleaves the two input streams in time
+	// order: request arrivals and membership events. An event tying an
+	// arrival's timestamp applies first, so the arrival routes against
+	// the post-event replica set. With no events this is exactly the
+	// legacy arrivals process.
 	c.clock.Go("arrivals", func(p *sim.Proc) {
+		events := cfg.Events
+		ei := 0
 		for _, r := range c.reqs {
+			for ei < len(events) && events[ei].At <= r.arrival {
+				p.SleepUntil(events[ei].At)
+				c.applyEvent(p, events[ei])
+				ei++
+			}
 			p.SleepUntil(r.arrival)
-			t := c.route(r, p.Now())
-			if c.inflight != nil {
-				c.inflight[t]++
-			}
-			// Sample the depth each measured arrival finds on the queue it
-			// joins, excluding itself (arrivals see time averages — PASTA);
-			// warmup-period arrivals are excluded like every other warmup
-			// sample. Routed runs additionally sample every node's depth,
-			// the balance snapshot QueueSkew summarises.
-			if c.measured(r) {
-				c.depthSum += float64(c.queues[t].Len())
-				c.depthN++
-				for i, q := range c.queues {
-					if c.depthSums != nil {
-						c.depthSums[i] += float64(q.Len())
-					}
-				}
-			}
-			c.queues[t].Push(r)
-			if c.pfQueues != nil {
-				// The node's loader starts moving this request's chunks
-				// while it queues; under the predictive policy a backed-up
-				// queue additionally triggers a popularity-driven promotion
-				// — at most one queued per node (back-to-back triggers
-				// would rank the same hot set and promote it twice).
-				c.pfQueues[t].Push(prefetchJob{req: r.idx, ids: r.ids})
-				if cfg.PrefetchPolicy == PrefetchPredictive &&
-					c.queues[t].Len() > predDepth && c.predPend[t] == 0 {
-					c.predPend[t]++
-					c.pfQueues[t].Push(prefetchJob{req: -1})
-				}
-			}
+			c.dispatch(r, p.Now())
+		}
+		for ei < len(events) {
+			p.SleepUntil(events[ei].At)
+			c.applyEvent(p, events[ei])
+			ei++
 		}
 		for _, q := range c.queues {
 			q.Close()
@@ -401,6 +400,12 @@ func (c *cluster) run() Result {
 			res.DuplicationBytes = c.duplicationBytes()
 		}
 	}
+	if c.eventsOn {
+		res.Failovers = c.failovers
+		res.ReroutedRequests = c.reroutedN
+		res.ReWarmStall = c.reWarmStall
+		res.RecoveryTime = c.recoveryTime(end)
+	}
 	res.Tenants = c.tenantUsage()
 	return res
 }
@@ -413,7 +418,10 @@ func (c *cluster) run() Result {
 func (c *cluster) duplicationBytes() int64 {
 	var total, unique int64
 	seen := make(map[chunk.ID]bool, c.stores[0].Len())
-	for _, s := range c.stores {
+	for i, s := range c.stores {
+		if c.dead[i] {
+			continue // a dead node's residue is gone, not redundancy
+		}
 		s.Each(func(id chunk.ID, bytes int64) {
 			total += bytes
 			if !seen[id] {
@@ -455,6 +463,53 @@ func (c *cluster) tenantUsage() []TenantUsage {
 	return out
 }
 
+// dispatch routes one arriving request and hands it to its node: queue
+// push, prefetch job, and the arrival-time depth sampling.
+func (c *cluster) dispatch(r request, now float64) {
+	t := c.route(r, now)
+	if c.inflight != nil {
+		c.inflight[t]++
+	}
+	// Sample the depth each measured arrival finds on the queue it
+	// joins, excluding itself (arrivals see time averages — PASTA);
+	// warmup-period arrivals are excluded like every other warmup
+	// sample. Routed runs additionally sample every node's depth,
+	// the balance snapshot QueueSkew summarises.
+	if c.measured(r) {
+		c.depthSum += float64(c.queues[t].Len())
+		c.depthN++
+		if c.depthSums != nil {
+			for i, q := range c.queues {
+				c.depthSums[i] += float64(q.Len())
+			}
+		}
+	}
+	c.queues[t].Push(r)
+	if c.pfQueues != nil {
+		// The node's loader starts moving this request's chunks
+		// while it queues; under the predictive policy a backed-up
+		// queue additionally triggers a popularity-driven promotion
+		// — at most one queued per node (back-to-back triggers
+		// would rank the same hot set and promote it twice).
+		c.pfQueues[t].Push(prefetchJob{req: r.idx, ids: r.ids})
+		if c.cfg.PrefetchPolicy == PrefetchPredictive &&
+			c.queues[t].Len() > c.predDepth() && c.predPend[t] == 0 {
+			c.predPend[t]++
+			c.pfQueues[t].Push(prefetchJob{req: -1})
+		}
+	}
+}
+
+// predDepth is the queue depth that triggers a predictive promotion: a
+// node's queue backed up past the workers draining it — every replica in
+// the shared topology, exactly one under the routed policies.
+func (c *cluster) predDepth() int {
+	if c.isRouted {
+		return 1
+	}
+	return c.cfg.replicas()
+}
+
 // replica is one worker process: it keeps a running batch, admitting from
 // its node's admission queue (the shared queue in the legacy topology,
 // its own under the routed policies) under the scheduling policy and
@@ -471,6 +526,19 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 			req, ok := queue.Pop(p)
 			if !ok {
 				return // queue closed and drained, batch empty — done
+			}
+			if c.dead[r] && !queue.Closed() {
+				// Killed while parked on the shared queue (routed queues
+				// close at the kill, so Pop there never wakes a dead
+				// worker with an item): hand the request back to the
+				// tail for a live worker and exit. Once the queue is
+				// closed the stream is over and survivors may already
+				// have exited, so the item is served rather than risk
+				// stranding it.
+				c.reroutedN++
+				c.rerouted[req.idx] = true
+				queue.Push(req)
+				return
 			}
 			batch = append(batch, c.admit(req, p.Now(), r))
 			deferred = 0
@@ -491,6 +559,9 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 		quota := c.policy.AdmitQuota(prefillers, decoders, headroom, deferred)
 		if quota > headroom {
 			quota = headroom
+		}
+		if c.dead[r] {
+			quota = 0 // a dead worker finishes its batch but admits nothing
 		}
 		admitted := 0
 		for admitted < quota {
@@ -643,6 +714,9 @@ func (c *cluster) admit(req request, now float64, r int) *member {
 	if c.prefetchOn && c.measured(req) {
 		c.tierStall += stall
 	}
+	if c.eventsOn && c.rerouted != nil && c.rerouted[req.idx] && c.measured(req) {
+		c.reWarmStall += stall
+	}
 	return m
 }
 
@@ -728,6 +802,11 @@ func (c *cluster) firstToken(m *member, now float64) {
 	}
 	ttft := now - m.req.arrival
 	c.ttfts = append(c.ttfts, ttft)
+	if c.eventsOn {
+		// RecoveryTime needs to know when each sample was emitted, not
+		// just its value — collected only under a membership schedule.
+		c.ttftAt = append(c.ttftAt, now)
+	}
 	if c.multiTenant {
 		c.acc(m.req.tenant).ttfts = append(c.acc(m.req.tenant).ttfts, ttft)
 	}

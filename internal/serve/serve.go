@@ -143,6 +143,12 @@ type Config struct {
 	// capacity, the way scaling out adds HBM — and require a
 	// chunk-reusing scheme (FullKVReuse or CacheBlend).
 	Router string
+	// Events schedules replica-membership changes over the run: kills
+	// (a node fails, its queued work re-routes to survivors) and joins
+	// (a cold node is added under load). Events must be time-ordered;
+	// see MembershipEvent for the per-event semantics. Empty keeps the
+	// static replica set and every legacy Result byte-identical.
+	Events []MembershipEvent
 	// ChunkPool is the number of distinct chunks in the corpus.
 	ChunkPool int
 	// ChunksPerRequest is how many chunks each request retrieves.
@@ -295,6 +301,9 @@ func (c Config) Validate() error {
 	if err := c.validateRouter(); err != nil {
 		return err
 	}
+	if err := c.validateEvents(); err != nil {
+		return err
+	}
 	tiers := c.tierConfigs()
 	for i, tc := range tiers {
 		if err := tc.Device.Validate(); err != nil {
@@ -422,6 +431,25 @@ type Result struct {
 	// independence: bytes resident on more than one replica's tier stack
 	// at run end, summed over the extra copies.
 	DuplicationBytes int64 `json:",omitempty"`
+	// Membership-event telemetry, populated only when Config.Events
+	// schedules kills or joins (legacy and static-routing Results stay
+	// byte-identical).
+	//
+	// Failovers counts the kill events that fired; ReroutedRequests the
+	// requests a kill drained off a dead node's queue and re-routed to a
+	// survivor (their original arrivals are kept, so the failover cost
+	// appears as queueing delay in TTFT, never as dropped samples).
+	Failovers        int   `json:",omitempty"`
+	ReroutedRequests int64 `json:",omitempty"`
+	// ReWarmStall sums, over measured re-routed requests, the tier-read
+	// stall their admissions paid on the surviving node — the re-warm
+	// transient of traffic whose cache locality died with its replica.
+	ReWarmStall float64 `json:",omitempty"`
+	// RecoveryTime is the transient length after the first kill: time
+	// from the event until the 1-second-windowed mean TTFT is back
+	// within 20% of the pre-event mean (the full remaining horizon when
+	// that never happens).
+	RecoveryTime float64 `json:",omitempty"`
 	// Lookups is the total chunk-store lookup count; Misses is how many
 	// missed every tier. Sum of per-tier Hits plus Misses equals Lookups.
 	Lookups, Misses int64
@@ -674,9 +702,11 @@ func (c *cluster) chunkCost(si, tier int) float64 {
 // (waits included) beyond what the same found chunks would have cost had
 // every one been HBM-resident — the hypothetical cost is computed through
 // the same per-tier pricing with all hits moved to tier 0, so fixed
-// per-tier latency terms cancel. Zero when the prefetch telemetry is off.
+// per-tier latency terms cancel. Zero when neither the prefetch
+// telemetry nor a membership schedule (whose ReWarmStall sums the same
+// quantity for re-routed requests) needs it.
 func (c *cluster) reuseStall(si int, cost float64, tierChunks []int, found int) float64 {
-	if !c.prefetchOn {
+	if !c.prefetchOn && !c.eventsOn {
 		return 0
 	}
 	cfg, store := c.cfg, c.stores[si]

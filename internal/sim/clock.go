@@ -140,6 +140,10 @@ func (q *Queue[T]) Push(v T) {
 	q.wakeOne()
 }
 
+// Closed reports whether Close has been called. Items already queued
+// still drain through Pop/TryPop.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
 // Close marks the queue finished: blocked and future Pops return ok=false
 // once the items drain.
 func (q *Queue[T]) Close() {
