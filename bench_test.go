@@ -511,6 +511,37 @@ func BenchmarkServeFailover(b *testing.B) {
 	}
 }
 
+// BenchmarkServeHotPath is the macro allocation benchmark: one iteration
+// pushes 100k requests (with a short decode tail each, so the per-token
+// store-update path is on the clock too) through the full serving
+// runtime on a single shared store. At this scale the harness cost is
+// noise and ns/op tracks the simulator's per-request hot path — arrival,
+// service-time lookup, batch stepping, per-token KV writes, retirement —
+// which is exactly what the allocation work targets; allocs/op here is
+// the whole-run figure the CI gate watches. The sim-req/s metric is the
+// interactive-speed headline: simulated requests per wall-clock second.
+func BenchmarkServeHotPath(b *testing.B) {
+	const requests = 100_000
+	cfg := serve.Config{
+		Spec: timing.Mistral7B, Scheme: baselines.CacheBlend, Ratio: 0.15,
+		Device: device.NVMeSSD, MaxBatch: 8, ChunkPool: 1500, ChunksPerRequest: 6,
+		ChunkTokens: 512, QueryTokens: 32, Skew: 0.8,
+	}
+	chunks := workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew}
+	w := workload.Poisson{Rate: 2.0, Chunks: chunks, Decode: workload.Decode{Mean: 4}}
+	b.ReportAllocs()
+	var tput float64
+	for i := 0; i < b.N; i++ {
+		res, err := serve.RunWorkload(cfg, w, requests, requests/4, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tput = res.Throughput
+	}
+	_ = tput
+	b.ReportMetric(float64(requests)*float64(b.N)/b.Elapsed().Seconds(), "sim-req/s")
+}
+
 // ---- Ablation benches (DESIGN.md design-choice list) ---------------------
 
 func BenchmarkAblationGradualFilterOn(b *testing.B) {

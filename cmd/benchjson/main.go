@@ -19,9 +19,10 @@
 //
 // With -compare the parsed run is additionally checked against a previous
 // PR's committed JSON, and the process exits 1 when a gated serving
-// benchmark (ServeReplicas, ServeTiered, ServeSched, ServeRouted,
-// ServeFailover) regressed in ns/op
-// beyond the threshold — the in-repo bench trajectory doubles as a CI
+// benchmark (ServeHotPath, ServeReplicas, ServeTiered, ServeSched,
+// ServeRouted, ServeFailover) regressed
+// beyond the threshold in ns/op or (when the baseline carries -benchmem
+// data) allocs/op — the in-repo bench trajectory doubles as a CI
 // regression gate:
 //
 //	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson -compare benchdata/BENCH_pr5.json
@@ -45,8 +46,15 @@ type Bench struct {
 	Iterations int64 `json:"iterations"`
 	// NsPerOp is the headline nanoseconds per iteration.
 	NsPerOp float64 `json:"ns_per_op"`
-	// Metrics holds the remaining value/unit pairs: B/op, allocs/op and
-	// any b.ReportMetric custom units (absent when the line has none).
+	// BytesPerOp and AllocsPerOp are the -benchmem memory columns,
+	// promoted out of Metrics so the allocation trajectory is a
+	// first-class field. Zero (and omitted from the JSON) when the run
+	// lacked -benchmem — older committed baselines stay loadable, they
+	// just don't gate allocations.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the remaining value/unit pairs: any b.ReportMetric
+	// custom units (absent when the line has none).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
@@ -55,6 +63,7 @@ type Bench struct {
 // rather than harness noise. Micro benchmarks still land in the JSON for
 // the trajectory, they just don't gate.
 var gatedPrefixes = []string{
+	"BenchmarkServeHotPath",
 	"BenchmarkServeReplicas",
 	"BenchmarkServeTiered",
 	"BenchmarkServeSched",
@@ -113,11 +122,13 @@ func loadBaseline(path string) (map[string]Bench, error) {
 	return base, nil
 }
 
-// Compare reports every gated benchmark whose current ns/op exceeds the
-// baseline by more than threshold. Benchmarks absent from either side are
-// skipped — new benchmarks gate from the next PR's baseline on, retired
-// ones stop gating — so the checked-in trajectory never blocks adding or
-// removing benchmarks.
+// Compare reports every gated benchmark whose current ns/op — or, when
+// both sides carry -benchmem data, allocs/op — exceeds the baseline by
+// more than threshold. Benchmarks absent from either side are skipped —
+// new benchmarks gate from the next PR's baseline on, retired ones stop
+// gating — so the checked-in trajectory never blocks adding or removing
+// benchmarks, and a baseline recorded before -benchmem was wired in
+// gates on time alone.
 func Compare(cur, base map[string]Bench, threshold float64) []string {
 	var out []string
 	names := make([]string, 0, len(cur))
@@ -133,10 +144,14 @@ func Compare(cur, base map[string]Bench, threshold float64) []string {
 		if !ok || old.NsPerOp <= 0 {
 			continue
 		}
-		now := cur[name].NsPerOp
-		if now > old.NsPerOp*(1+threshold) {
+		now := cur[name]
+		if now.NsPerOp > old.NsPerOp*(1+threshold) {
 			out = append(out, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
-				name, now, old.NsPerOp, (now/old.NsPerOp-1)*100, threshold*100))
+				name, now.NsPerOp, old.NsPerOp, (now.NsPerOp/old.NsPerOp-1)*100, threshold*100))
+		}
+		if old.AllocsPerOp > 0 && now.AllocsPerOp > old.AllocsPerOp*(1+threshold) {
+			out = append(out, fmt.Sprintf("%s: %.0f allocs/op vs baseline %.0f (+%.0f%%, limit +%.0f%%)",
+				name, now.AllocsPerOp, old.AllocsPerOp, (now.AllocsPerOp/old.AllocsPerOp-1)*100, threshold*100))
 		}
 	}
 	return out
@@ -197,9 +212,16 @@ func parseLine(line string) (string, Bench, bool) {
 		if err != nil {
 			return "", Bench{}, false
 		}
-		if fields[i+1] == "ns/op" {
+		switch fields[i+1] {
+		case "ns/op":
 			b.NsPerOp = v
 			seenNs = true
+			continue
+		case "B/op":
+			b.BytesPerOp = v
+			continue
+		case "allocs/op":
+			b.AllocsPerOp = v
 			continue
 		}
 		if b.Metrics == nil {

@@ -37,8 +37,11 @@ func TestParse(t *testing.T) {
 		t.Fatalf("sched parsed wrong: %+v", sched)
 	}
 	fuse := got["BenchmarkFuse"]
-	if fuse.Metrics["B/op"] != 5242880 || fuse.Metrics["allocs/op"] != 1024 {
-		t.Fatalf("fuse memory metrics parsed wrong: %+v", fuse)
+	if fuse.BytesPerOp != 5242880 || fuse.AllocsPerOp != 1024 {
+		t.Fatalf("fuse memory columns parsed wrong: %+v", fuse)
+	}
+	if len(fuse.Metrics) != 0 {
+		t.Fatalf("memory columns should not also land in metrics: %+v", fuse.Metrics)
 	}
 }
 
@@ -89,5 +92,36 @@ func TestCompareBoundary(t *testing.T) {
 	if got := Compare(map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 121}},
 		map[string]Bench{"BenchmarkServeSched/fifo": {NsPerOp: 0}}, 0.20); len(got) != 0 {
 		t.Fatalf("zero baseline should be skipped, got %v", got)
+	}
+}
+
+func TestCompareGatesAllocations(t *testing.T) {
+	base := map[string]Bench{
+		"BenchmarkServeHotPath":     {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkServeReplicas/r1": {NsPerOp: 100}, // pre--benchmem baseline: no alloc data
+	}
+	// Alloc regression alone fails even with ns/op flat.
+	got := Compare(map[string]Bench{
+		"BenchmarkServeHotPath":     {NsPerOp: 100, AllocsPerOp: 1300},
+		"BenchmarkServeReplicas/r1": {NsPerOp: 100, AllocsPerOp: 999999},
+	}, base, 0.20)
+	if len(got) != 1 || !strings.Contains(got[0], "allocs/op") ||
+		!strings.Contains(got[0], "BenchmarkServeHotPath") {
+		t.Fatalf("want exactly the hot-path alloc regression, got %v", got)
+	}
+	// A baseline without alloc data gates on time alone; fewer allocs pass.
+	got = Compare(map[string]Bench{
+		"BenchmarkServeHotPath":     {NsPerOp: 100, AllocsPerOp: 500},
+		"BenchmarkServeReplicas/r1": {NsPerOp: 90, AllocsPerOp: 42},
+	}, base, 0.20)
+	if len(got) != 0 {
+		t.Fatalf("improvements should pass, got %v", got)
+	}
+	// One benchmark can regress both ways at once.
+	got = Compare(map[string]Bench{
+		"BenchmarkServeHotPath": {NsPerOp: 200, AllocsPerOp: 2000},
+	}, base, 0.20)
+	if len(got) != 2 {
+		t.Fatalf("want ns/op and allocs/op regressions, got %v", got)
 	}
 }

@@ -27,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -64,6 +66,8 @@ func main() {
 		n         = flag.Int("n", 1500, "requests per rate point")
 		seed      = flag.Int64("seed", 42, "workload seed")
 		verbose   = flag.Bool("v", false, "print per-replica utilization, batch histograms and per-tenant stats")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation runs to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof allocation profile (after the runs) to this file")
 
 		workloadName = flag.String("workload", "poisson", "arrival generator (poisson, bursty, diurnal)")
 		burst        = flag.Float64("burst", 8, "bursty workload's peak-to-mean rate factor")
@@ -84,6 +88,34 @@ func main() {
 	if *tracePath != "" && (set["decode"] || set["decode-dist"]) {
 		fatal(fmt.Errorf("-trace replays a recorded stream (its decode budgets included) and cannot be combined with -decode/-decode-dist"))
 	}
+	// Profiling hooks for the performance work: the CPU profile brackets
+	// everything from here (setup cost is noise next to the runs), the
+	// allocation profile is written on the way out after a final GC so it
+	// reflects total allocations, not the live heap.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
 	dec := workload.Decode{Mean: *decodeMean}
 	switch *decodeDist {
 	case "geometric":

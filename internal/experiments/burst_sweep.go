@@ -65,14 +65,21 @@ func BurstSweep(requests int) *Table {
 			"requests per cell: " + strconv.Itoa(requests) + ", first " + strconv.Itoa(warmup) + " excluded as warmup",
 		},
 	}
-	for _, scheme := range schemes {
+	// The capacity probe above runs first (every cell's rate depends on
+	// it); the (scheme, load) grid itself runs on the worker pool with
+	// rows assembled in grid order.
+	cells := pmap(len(schemes)*len(loads), func(i int) serve.Result {
 		cfg := base
-		cfg.Scheme = scheme
-		for _, load := range loads {
-			res, err := serve.RunWorkload(cfg, load.w, requests, warmup, 42)
-			if err != nil {
-				panic("experiments: burst sweep: " + err.Error())
-			}
+		cfg.Scheme = schemes[i/len(loads)]
+		res, err := serve.RunWorkload(cfg, loads[i%len(loads)].w, requests, warmup, 42)
+		if err != nil {
+			panic("experiments: burst sweep: " + err.Error())
+		}
+		return res
+	})
+	for si, scheme := range schemes {
+		for li, load := range loads {
+			res := cells[si*len(loads)+li]
 			t.Rows = append(t.Rows, []string{
 				string(scheme), load.name, f3(res.Rate), f3(res.MeanTTFT), f3(res.P95TTFT),
 				f3(res.Throughput), pct(res.HitRate), f2(res.MeanQueueDepth),

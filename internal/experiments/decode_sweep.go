@@ -59,18 +59,24 @@ func DecodeSweep(requests int) *Table {
 			"requests per cell: " + strconv.Itoa(requests) + ", first " + strconv.Itoa(warmup) + " excluded as warmup",
 		},
 	}
-	for _, scheme := range schemes {
+	// The (scheme, length) cells run on the worker pool; rows assemble in
+	// grid order.
+	cells := pmap(len(schemes)*len(lengths), func(i int) serve.Result {
 		c := cfg
-		c.Scheme = scheme
-		for _, mean := range lengths {
-			w := workload.Poisson{Rate: rate, Chunks: chunks}
-			if mean > 0 {
-				w.Decode = workload.Decode{Mean: mean}
-			}
-			res, err := serve.RunWorkload(c, w, requests, warmup, 42)
-			if err != nil {
-				panic("experiments: decode sweep: " + err.Error())
-			}
+		c.Scheme = schemes[i/len(lengths)]
+		w := workload.Poisson{Rate: rate, Chunks: chunks}
+		if mean := lengths[i%len(lengths)]; mean > 0 {
+			w.Decode = workload.Decode{Mean: mean}
+		}
+		res, err := serve.RunWorkload(c, w, requests, warmup, 42)
+		if err != nil {
+			panic("experiments: decode sweep: " + err.Error())
+		}
+		return res
+	})
+	for si, scheme := range schemes {
+		for li, mean := range lengths {
+			res := cells[si*len(lengths)+li]
 			shares, perTok := "-", "-"
 			if res.OutputTokens > 0 {
 				shares = pct(res.PrefillStepShare) + "/" + pct(res.DecodeStepShare) + "/" + pct(res.MixedStepShare)

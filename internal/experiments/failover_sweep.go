@@ -74,29 +74,37 @@ func FailoverSweep(requests int) *Table {
 				" excluded as warmup; every cell averages 3 seeds",
 		},
 	}
+	// Each (policy, seed) cell computes its own horizon and membership
+	// schedule from just the cell's seed, so the grid runs on the worker
+	// pool and the per-policy seed averages fold in grid order.
 	seeds := []int64{1, 2, 3}
-	for _, policy := range policies {
+	cells := pmap(len(policies)*len(seeds), func(i int) serve.Result {
 		c := cfg
-		c.Router = policy
+		c.Router = policies[i/len(seeds)]
+		seed := seeds[i%len(seeds)]
+		mix := make([]workload.Workload, tenants)
+		for j := range mix {
+			mix[j] = workload.Bursty{Rate: rate, Burst: 4,
+				Chunks: workload.Chunks{Pool: pool, PerRequest: per, Skew: skew, Offset: j * pool}}
+		}
+		w := workload.MultiTenant{Tenants: mix}
+		// The membership schedule tracks each seed's own horizon so the
+		// kill and join land at the same trace fractions for every seed.
+		horizon := lastArrival(w, requests, seed)
+		c.Events = []serve.MembershipEvent{
+			{At: 0.4 * horizon, Kill: 1},
+			{At: 0.7 * horizon, Join: 1},
+		}
+		res, err := serve.RunWorkload(c, w, requests, warmup, seed)
+		if err != nil {
+			panic("experiments: failover sweep: " + err.Error())
+		}
+		return res
+	})
+	for pi, policy := range policies {
 		var ttft, p95, rerouted, rewarm, recovery, hit float64
-		for _, seed := range seeds {
-			mix := make([]workload.Workload, tenants)
-			for i := range mix {
-				mix[i] = workload.Bursty{Rate: rate, Burst: 4,
-					Chunks: workload.Chunks{Pool: pool, PerRequest: per, Skew: skew, Offset: i * pool}}
-			}
-			w := workload.MultiTenant{Tenants: mix}
-			// The membership schedule tracks each seed's own horizon so the
-			// kill and join land at the same trace fractions for every seed.
-			horizon := lastArrival(w, requests, seed)
-			c.Events = []serve.MembershipEvent{
-				{At: 0.4 * horizon, Kill: 1},
-				{At: 0.7 * horizon, Join: 1},
-			}
-			res, err := serve.RunWorkload(c, w, requests, warmup, seed)
-			if err != nil {
-				panic("experiments: failover sweep: " + err.Error())
-			}
+		for si := range seeds {
+			res := cells[pi*len(seeds)+si]
 			ttft += res.MeanTTFT
 			p95 += res.P95TTFT
 			rerouted += float64(res.ReroutedRequests)

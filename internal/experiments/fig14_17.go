@@ -49,31 +49,46 @@ func Fig14(requests int) *Table {
 		{"musique-extended", 1500, 0.8},
 		{"2wikimqa-extended", 2000, 0.8},
 	}
+	// Rate multipliers around each model's full-recompute capacity so the
+	// hockey-stick is visible for every scheme.
+	mults := []float64{0.4, 0.8, 1.6, 3.2}
+	specs := timing.Specs()
+	// The full (workload, model, variant, rate) grid — the package's
+	// largest — runs on the worker pool; rows assemble in grid order.
+	type fig14Cell struct {
+		rate float64
+		res  serve.Result
+	}
+	cells := pmap(len(workloads)*len(specs)*len(variants)*len(mults), func(i int) fig14Cell {
+		wl := workloads[i/(len(specs)*len(variants)*len(mults))]
+		spec := specs[i/(len(variants)*len(mults))%len(specs)]
+		v := variants[i/len(mults)%len(variants)]
+		rate := mults[i%len(mults)] / spec.FullPrefillTTFT(6*512+32)
+		cfg := serve.Config{
+			Spec:             spec,
+			Scheme:           v.scheme,
+			Ratio:            0.15,
+			Device:           device.NVMeSSD,
+			StoreCapacity:    v.capacity(spec),
+			Replicas:         1, // the paper's single-GPU testbed
+			ChunkPool:        wl.pool,
+			ChunksPerRequest: 6,
+			ChunkTokens:      512,
+			QueryTokens:      32,
+			Skew:             wl.skew,
+		}
+		return fig14Cell{rate: rate, res: serve.Run(cfg, rate, requests, warmup, 42)}
+	})
+	i := 0
 	for _, wl := range workloads {
-		for _, spec := range timing.Specs() {
-			// Rates chosen around each model's full-recompute capacity so
-			// the hockey-stick is visible for every scheme.
-			fullCap := 1 / spec.FullPrefillTTFT(6*512+32)
-			rates := []float64{fullCap * 0.4, fullCap * 0.8, fullCap * 1.6, fullCap * 3.2}
+		for _, spec := range specs {
 			for _, v := range variants {
-				cfg := serve.Config{
-					Spec:             spec,
-					Scheme:           v.scheme,
-					Ratio:            0.15,
-					Device:           device.NVMeSSD,
-					StoreCapacity:    v.capacity(spec),
-					Replicas:         1, // the paper's single-GPU testbed
-					ChunkPool:        wl.pool,
-					ChunksPerRequest: 6,
-					ChunkTokens:      512,
-					QueryTokens:      32,
-					Skew:             wl.skew,
-				}
-				for _, rate := range rates {
-					res := serve.Run(cfg, rate, requests, warmup, 42)
+				for range mults {
+					cell := cells[i]
+					i++
 					t.Rows = append(t.Rows, []string{
 						wl.name, spec.Name, v.name,
-						f3(rate), f3(res.MeanTTFT), f3(res.P95TTFT), pct(res.HitRate),
+						f3(cell.rate), f3(cell.res.MeanTTFT), f3(cell.res.P95TTFT), pct(cell.res.HitRate),
 					})
 				}
 			}
@@ -113,12 +128,19 @@ func Fig14Scaling(requests int) *Table {
 		QueryTokens:      32,
 		Skew:             0.8,
 	}
+	// The capacity probe anchors every cell's rate, so it runs first; the
+	// (replicas, rate) grid then runs on the worker pool in grid order.
 	soloCap := serve.Capacity(base, 42)
 	rates := []float64{soloCap, 2 * soloCap, 4 * soloCap, 8 * soloCap}
-	for _, replicas := range []int{1, 2, 4} {
+	counts := []int{1, 2, 4}
+	cells := pmap(len(counts)*len(rates), func(i int) serve.Result {
 		cfg := base
-		cfg.Replicas = replicas
-		for _, res := range serve.RateSweep(cfg, rates, requests, warmup, 42) {
+		cfg.Replicas = counts[i/len(rates)]
+		return serve.Run(cfg, rates[i%len(rates)], requests, warmup, 42)
+	})
+	for ci, replicas := range counts {
+		for ri := range rates {
+			res := cells[ci*len(rates)+ri]
 			util := metrics.Mean(res.ReplicaUtil)
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprint(replicas), f3(res.Rate), f3(res.MeanTTFT), f3(res.P95TTFT),

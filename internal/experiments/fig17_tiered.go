@@ -64,12 +64,18 @@ func Fig17Tiered(requests int) *Table {
 		QueryTokens:      32,
 		Skew:             1.0,
 	}
+	// The capacity probe anchors every cell's rate, so it runs first; the
+	// (split, rate) grid then runs on the worker pool in grid order.
 	soloCap := serve.Capacity(base, 42)
 	rates := []float64{soloCap * 0.5, soloCap, 2 * soloCap}
-	for _, split := range splits {
+	cells := pmap(len(splits)*len(rates), func(i int) serve.Result {
 		cfg := base
-		cfg.Tiers = split.tiers
-		for _, res := range serve.RateSweep(cfg, rates, requests, warmup, 42) {
+		cfg.Tiers = splits[i/len(rates)].tiers
+		return serve.Run(cfg, rates[i%len(rates)], requests, warmup, 42)
+	})
+	for si, split := range splits {
+		for ri := range rates {
+			res := cells[si*len(rates)+ri]
 			var promos, demos int64
 			hits := make([]string, len(res.Tiers))
 			for i, tu := range res.Tiers {

@@ -73,20 +73,27 @@ func PrefetchSweep(requests int) *Table {
 		},
 	}
 	// Each cell averages a few seeds: single bursty traces are noisy enough
-	// that one lucky arrival pattern can hide a ~5% TTFT effect.
+	// that one lucky arrival pattern can hide a ~5% TTFT effect. The
+	// (policy, load, seed) grid runs on the worker pool; averages fold in
+	// grid order.
 	seeds := []int64{1, 7, 42}
-	for _, policy := range policies {
+	cells := pmap(len(policies)*len(loads)*len(seeds), func(i int) serve.Result {
 		c := cfg
-		c.PrefetchPolicy = policy
-		for _, load := range loads {
-			w := workload.Bursty{Rate: rate, Burst: load.burst, Chunks: chunks}
+		c.PrefetchPolicy = policies[i/(len(loads)*len(seeds))]
+		load := loads[i/len(seeds)%len(loads)]
+		w := workload.Bursty{Rate: rate, Burst: load.burst, Chunks: chunks}
+		res, err := serve.RunWorkload(c, w, requests, warmup, seeds[i%len(seeds)])
+		if err != nil {
+			panic("experiments: prefetch sweep: " + err.Error())
+		}
+		return res
+	})
+	for pi, policy := range policies {
+		for li, load := range loads {
 			var ttft, p95, stall, hbm, tput, wasted float64
 			var issued, hits int64
-			for _, seed := range seeds {
-				res, err := serve.RunWorkload(c, w, requests, warmup, seed)
-				if err != nil {
-					panic("experiments: prefetch sweep: " + err.Error())
-				}
+			for si := range seeds {
+				res := cells[(pi*len(loads)+li)*len(seeds)+si]
 				ttft += res.MeanTTFT
 				p95 += res.P95TTFT
 				stall += res.TierStallTime

@@ -73,23 +73,32 @@ func RouterSweep(requests int) *Table {
 	}
 	// Averaging a few seeds matters here: bursty multi-tenant merges are
 	// noisy enough that one seed can reorder policies on a ~5% margin.
+	// Every (policy, rate, seed) cell is an independent simulation, so the
+	// whole grid runs on the worker pool and the per-row seed averages are
+	// folded in grid order.
 	seeds := []int64{1, 2, 3}
-	for _, policy := range policies {
+	cells := pmap(len(policies)*len(rates)*len(seeds), func(i int) serve.Result {
+		policy := policies[i/(len(rates)*len(seeds))]
+		rate := rates[i/len(seeds)%len(rates)]
+		seed := seeds[i%len(seeds)]
 		c := cfg
 		c.Router = policy
-		for _, rate := range rates {
-			mix := make([]workload.Workload, tenants)
-			for i := range mix {
-				mix[i] = workload.Bursty{Rate: rate, Burst: 4,
-					Chunks: workload.Chunks{Pool: pool, PerRequest: per, Skew: skew, Offset: i * pool}}
-			}
-			w := workload.MultiTenant{Tenants: mix}
+		mix := make([]workload.Workload, tenants)
+		for j := range mix {
+			mix[j] = workload.Bursty{Rate: rate, Burst: 4,
+				Chunks: workload.Chunks{Pool: pool, PerRequest: per, Skew: skew, Offset: j * pool}}
+		}
+		res, err := serve.RunWorkload(c, workload.MultiTenant{Tenants: mix}, requests, warmup, seed)
+		if err != nil {
+			panic("experiments: router sweep: " + err.Error())
+		}
+		return res
+	})
+	for pi, policy := range policies {
+		for ri, rate := range rates {
 			var ttft, p95, hbm, hit, lskew, qskew, dup float64
-			for _, seed := range seeds {
-				res, err := serve.RunWorkload(c, w, requests, warmup, seed)
-				if err != nil {
-					panic("experiments: router sweep: " + err.Error())
-				}
+			for si := range seeds {
+				res := cells[(pi*len(rates)+ri)*len(seeds)+si]
 				ttft += res.MeanTTFT
 				p95 += res.P95TTFT
 				hbm += res.Tiers[0].HitRate

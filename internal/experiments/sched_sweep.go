@@ -69,14 +69,20 @@ func SchedSweep(requests int) *Table {
 			"requests per cell: " + strconv.Itoa(requests) + ", first " + strconv.Itoa(warmup) + " excluded as warmup",
 		},
 	}
-	for _, policy := range policies {
+	// The (policy, load) cells run on the worker pool; rows assemble in
+	// grid order.
+	cells := pmap(len(policies)*len(loads), func(i int) serve.Result {
 		c := cfg
-		c.Sched = policy
-		for _, load := range loads {
-			res, err := serve.RunWorkload(c, load.w, requests, warmup, 42)
-			if err != nil {
-				panic("experiments: sched sweep: " + err.Error())
-			}
+		c.Sched = policies[i/len(loads)]
+		res, err := serve.RunWorkload(c, loads[i%len(loads)].w, requests, warmup, 42)
+		if err != nil {
+			panic("experiments: sched sweep: " + err.Error())
+		}
+		return res
+	})
+	for pi, policy := range policies {
+		for li, load := range loads {
+			res := cells[pi*len(loads)+li]
 			t.Rows = append(t.Rows, []string{
 				policy, load.name, f3(res.MeanTTFT), f3(res.P95TTFT), f3(res.MeanTBT),
 				f3(res.P95TBT), f3(res.MeanE2E), f3(res.Throughput),

@@ -9,7 +9,6 @@
 package kvstore
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 
@@ -53,10 +52,22 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
+// entry is one resident chunk, threaded onto the store's intrusive
+// recency list — no container/list element allocation per insert, and
+// removed entries recycle through a freelist instead of churning the GC.
 type entry struct {
+	id         chunk.ID
+	payload    Sized
+	bytes      int64
+	prev, next *entry // recency list when resident; next chains the freelist
+}
+
+// evicted is a victim handed to the evict handler after the lock drops:
+// the fields are copied out so the entry itself can be recycled
+// immediately.
+type evicted struct {
 	id      chunk.ID
 	payload Sized
-	bytes   int64
 }
 
 // Store is a capacity-bounded KV cache store on one device. It is safe
@@ -67,8 +78,10 @@ type Store struct {
 	capacity int64
 	used     int64
 	policy   Policy
-	order    *list.List // front = most recently used
-	index    map[chunk.ID]*list.Element
+	head     *entry // most recently used
+	tail     *entry // eviction end
+	index    map[chunk.ID]*entry
+	free     *entry // recycled entries, chained via next
 	stats    Stats
 	onEvict  func(chunk.ID, Sized)
 
@@ -89,8 +102,7 @@ func New(dev device.Device, capacity int64, policy Policy) *Store {
 		dev:      dev,
 		capacity: capacity,
 		policy:   policy,
-		order:    list.New(),
-		index:    make(map[chunk.ID]*list.Element),
+		index:    make(map[chunk.ID]*entry),
 		writeCh:  make(chan writeReq, 64),
 	}
 	s.wg.Add(1)
@@ -125,6 +137,58 @@ func (s *Store) Device() device.Device { return s.dev }
 // Capacity returns the store's byte budget (≤ 0 = unbounded).
 func (s *Store) Capacity() int64 { return s.capacity }
 
+// pushFront links e at the recency head. e must be unlinked.
+func (s *Store) pushFront(e *entry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	} else {
+		s.tail = e
+	}
+	s.head = e
+}
+
+// unlink detaches e from the recency list.
+func (s *Store) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// moveToFront refreshes e's recency.
+func (s *Store) moveToFront(e *entry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// allocEntry takes an entry off the freelist, or heap-allocates one.
+func (s *Store) allocEntry() *entry {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &entry{}
+}
+
+// freeEntry clears e (dropping its payload reference) and recycles it.
+func (s *Store) freeEntry(e *entry) {
+	*e = entry{next: s.free}
+	s.free = e
+}
+
 // SetEvictHandler registers fn to receive entries evicted under capacity
 // pressure instead of dropping them silently — the hook the tiered store
 // uses to demote victims to the next tier. fn runs on the evicting
@@ -141,16 +205,16 @@ func (s *Store) SetEvictHandler(fn func(chunk.ID, Sized)) {
 func (s *Store) Get(id chunk.ID) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[id]
+	e, ok := s.index[id]
 	if !ok {
 		s.stats.Misses++
 		return nil, false
 	}
 	s.stats.Hits++
 	if s.policy == LRU {
-		s.order.MoveToFront(el)
+		s.moveToFront(e)
 	}
-	return el.Value.(*entry).payload, true
+	return e.payload, true
 }
 
 // Contains reports presence without touching recency or stats.
@@ -167,11 +231,11 @@ func (s *Store) Contains(id chunk.ID) bool {
 func (s *Store) Peek(id chunk.ID) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[id]
+	e, ok := s.index[id]
 	if !ok {
 		return nil, false
 	}
-	return el.Value.(*entry).payload, true
+	return e.payload, true
 }
 
 // Put inserts or replaces the payload for id, evicting per policy until
@@ -183,19 +247,19 @@ func (s *Store) Put(id chunk.ID, payload Sized) error {
 		s.mu.Unlock()
 		return fmt.Errorf("kvstore: payload %d bytes exceeds capacity %d", n, s.capacity)
 	}
-	if el, ok := s.index[id]; ok {
-		old := el.Value.(*entry)
-		s.used -= old.bytes
-		old.payload = payload
-		old.bytes = n
-		s.used += n
+	if e, ok := s.index[id]; ok {
+		s.used += n - e.bytes
+		e.payload = payload
+		e.bytes = n
 		if s.policy == LRU {
-			s.order.MoveToFront(el)
+			s.moveToFront(e)
 		}
 	} else {
 		s.stats.Puts++
-		e := &entry{id: id, payload: payload, bytes: n}
-		s.index[id] = s.order.PushFront(e)
+		e := s.allocEntry()
+		e.id, e.payload, e.bytes = id, payload, n
+		s.index[id] = e
+		s.pushFront(e)
 		s.used += n
 	}
 	victims := s.evictLocked()
@@ -208,22 +272,57 @@ func (s *Store) Put(id chunk.ID, payload Sized) error {
 	return nil
 }
 
+// Update replaces id's payload in place when id is resident — recency
+// refreshes and growth evicts per policy, exactly like a Put of a
+// resident id — and reports ok=false (store untouched) when id is absent
+// or the payload exceeds capacity, for the caller to fall back to a full
+// Put. The hot caller is the serving runtime's per-token decode-KV
+// append, which rewrites the same key every generated token.
+func (s *Store) Update(id chunk.ID, payload Sized) bool {
+	n := payload.SizeBytes()
+	s.mu.Lock()
+	if s.capacity > 0 && n > s.capacity {
+		s.mu.Unlock()
+		return false
+	}
+	e, ok := s.index[id]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	s.used += n - e.bytes
+	e.payload = payload
+	e.bytes = n
+	if s.policy == LRU {
+		s.moveToFront(e)
+	}
+	victims := s.evictLocked()
+	s.stats.BytesStored = s.used
+	onEvict := s.onEvict
+	s.mu.Unlock()
+	for _, v := range victims {
+		onEvict(v.id, v.payload)
+	}
+	return true
+}
+
 // Remove deletes id and returns its payload. It touches neither hit/miss
 // nor eviction counters — the tiered store uses it to move entries
 // between tiers without distorting placement statistics.
 func (s *Store) Remove(id chunk.ID) (Sized, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[id]
+	e, ok := s.index[id]
 	if !ok {
 		return nil, false
 	}
-	e := el.Value.(*entry)
-	s.order.Remove(el)
+	payload := e.payload
+	s.unlink(e)
 	delete(s.index, id)
 	s.used -= e.bytes
 	s.stats.BytesStored = s.used
-	return e.payload, true
+	s.freeEntry(e)
+	return payload, true
 }
 
 // PutAsync queues the write for the background writer (fire and forget),
@@ -241,26 +340,27 @@ func (s *Store) PutAsync(id chunk.ID, payload Sized) {
 }
 
 // evictLocked evicts from the back until within capacity, returning the
-// victims when an evict handler is registered (nil otherwise). The caller
-// must invoke the handler after releasing the lock.
-func (s *Store) evictLocked() []*entry {
+// victims when an evict handler is registered (nil otherwise; the victim
+// slice is freshly allocated because the handler may re-enter this
+// store). The caller must invoke the handler after releasing the lock.
+func (s *Store) evictLocked() []evicted {
 	if s.capacity <= 0 {
 		return nil
 	}
-	var victims []*entry
+	var victims []evicted
 	for s.used > s.capacity {
-		back := s.order.Back()
-		if back == nil {
+		e := s.tail
+		if e == nil {
 			break
 		}
-		e := back.Value.(*entry)
-		s.order.Remove(back)
+		s.unlink(e)
 		delete(s.index, e.id)
 		s.used -= e.bytes
 		s.stats.Evictions++
 		if s.onEvict != nil {
-			victims = append(victims, e)
+			victims = append(victims, evicted{id: e.id, payload: e.payload})
 		}
+		s.freeEntry(e)
 	}
 	return victims
 }
@@ -285,8 +385,7 @@ func (s *Store) Len() int {
 func (s *Store) Each(fn func(id chunk.ID, bytes int64)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for el := s.order.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry)
+	for e := s.head; e != nil; e = e.next {
 		fn(e.id, e.bytes)
 	}
 }
@@ -305,9 +404,9 @@ func (s *Store) Stats() Stats {
 func (s *Store) LoadTime(id chunk.ID) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	el, ok := s.index[id]
+	e, ok := s.index[id]
 	if !ok {
 		return 0
 	}
-	return s.dev.ReadTime(el.Value.(*entry).bytes)
+	return s.dev.ReadTime(e.bytes)
 }

@@ -91,6 +91,9 @@ func (s *Sharded) Peek(id chunk.ID) (Sized, bool) { return s.shard(id).Peek(id) 
 // Put inserts into id's shard, evicting within that shard as needed.
 func (s *Sharded) Put(id chunk.ID, payload Sized) error { return s.shard(id).Put(id, payload) }
 
+// Update replaces id's payload in place if resident; see Store.Update.
+func (s *Sharded) Update(id chunk.ID, payload Sized) bool { return s.shard(id).Update(id, payload) }
+
 // PutAsync queues the write on id's shard's background writer.
 func (s *Sharded) PutAsync(id chunk.ID, payload Sized) { s.shard(id).PutAsync(id, payload) }
 

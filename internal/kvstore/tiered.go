@@ -196,6 +196,14 @@ func (t *Tiered) Put(id chunk.ID, payload Sized) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.cancelLocked(id) // the new payload supersedes any copy in flight
+	// Fast path for the per-token decode-KV append: an id already resident
+	// on the top tier updates in place — entry and list element reused,
+	// recency refreshed, growth evicting exactly as a reinsert would —
+	// instead of remove-and-reinsert allocating a fresh entry per token.
+	if t.tiers[0].Update(id, payload) {
+		t.puts++
+		return nil
+	}
 	for _, tier := range t.tiers {
 		tier.Remove(id)
 	}

@@ -129,7 +129,7 @@ func (c *cluster) jobKeys(job prefetchJob, now float64, qi int) []chunk.ID {
 	}
 	keys := make([]chunk.ID, len(job.ids))
 	for i, id := range job.ids {
-		keys[i] = chunkKey(c.cfg, id)
+		keys[i] = c.chunkKeyOf(id)
 	}
 	return keys
 }

@@ -218,9 +218,15 @@ func (c *cluster) routeHash(req request) int {
 	if len(req.ids) == 0 {
 		return c.leastLoaded()
 	}
-	counts := make([]int, len(c.queues))
+	if cap(c.cntScratch) < len(c.queues) {
+		c.cntScratch = make([]int, len(c.queues))
+	}
+	counts := c.cntScratch[:len(c.queues)]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, id := range req.ids {
-		counts[c.ring.owner(chunkKey(c.cfg, id))]++
+		counts[c.ring.owner(c.chunkKeyOf(id))]++
 	}
 	best := -1
 	for r, n := range counts {
@@ -256,10 +262,11 @@ func (c *cluster) leastLoaded() int {
 // future requests for the same corpus stick to the same replica even as
 // individual chunks churn through the tiers.
 func (c *cluster) routeAffinity(req request, now float64) int {
-	keys := make([]chunk.ID, len(req.ids))
-	for i, id := range req.ids {
-		keys[i] = chunkKey(c.cfg, id)
+	keys := c.keyScratch[:0] // scratch: route runs without a park, so no aliasing
+	for _, id := range req.ids {
+		keys = append(keys, c.chunkKeyOf(id))
 	}
+	c.keyScratch = keys[:0]
 	best, bestScore := -1, 0.0
 	for r := range c.queues {
 		if c.dead[r] {

@@ -17,7 +17,6 @@ package serve
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/chunk"
 	"repro/internal/engine"
@@ -54,8 +53,10 @@ type member struct {
 	lastToken     float64 // virtual time the latest token was emitted
 	si            int     // index of the store the request was admitted against
 	genKey        chunk.ID
-	genBytes      int64 // generated-KV footprint resident in the store
-	lookups, hits int64 // its chunk-store lookup outcome at admission
+	genBytes      int64          // generated-KV footprint resident in the store
+	genPayload    *kvstore.Bytes // reusable boxed payload for the per-token decode-KV Put
+	lookups, hits int64          // its chunk-store lookup outcome at admission
+	acc           *tenantAcc     // tenant accumulator, resolved once at admission (nil unless multi-tenant and measured)
 }
 
 // tenantAcc accumulates one tenant's post-warmup service statistics.
@@ -123,7 +124,42 @@ type cluster struct {
 	// post-warmup step counts by batch composition
 	stepsPrefill, stepsDecode, stepsMixed int64
 	multiTenant                           bool
-	tenants                               map[int]*tenantAcc
+	tenants                               []*tenantAcc // dense, indexed by tenant id; nil = never measured
+
+	// serviceTime scratch, reused across admissions. The single-token
+	// scheduler discipline means at most one admission is in flight per
+	// cluster, so per-call allocation buys nothing.
+	tierScratch []int
+	missScratch []chunk.ID
+	dupScratch  []chunk.ID
+	chunkSized  kvstore.Sized    // chunkBytes boxed once for every context-chunk Put
+	keyCache    map[int]chunk.ID // chunk id → store key: one SHA-256 per distinct id per run
+	keyScratch  []chunk.ID       // router scoring keys (used within one route call, no park inside)
+	cntScratch  []int            // router per-node owner counts, same lifetime
+	memberPool  []*member        // retired members recycled into the next admission
+}
+
+// chunkKeyOf memoises chunkKey: the serving hot loop hashes each distinct
+// chunk id once per run instead of once per lookup.
+func (c *cluster) chunkKeyOf(id int) chunk.ID {
+	if k, ok := c.keyCache[id]; ok {
+		return k
+	}
+	if c.keyCache == nil {
+		c.keyCache = make(map[int]chunk.ID, 256)
+	}
+	k := chunkKey(c.cfg, id)
+	c.keyCache[id] = k
+	return k
+}
+
+// recycle zeroes a retired member (keeping its boxed payload for reuse)
+// and returns it to the pool for the next admission.
+func (c *cluster) recycle(m *member) {
+	pay := m.genPayload
+	*m = member{}
+	m.genPayload = pay
+	c.memberPool = append(c.memberPool, m)
 }
 
 // qi maps a replica index to its slot in the per-replica slices: its own
@@ -147,17 +183,24 @@ func (c *cluster) measured(req request) bool { return req.arrival >= c.cutoff }
 
 // newCluster adopts a validated, arrival-ordered request stream.
 func newCluster(cfg Config, stream []workload.Request, warmup int) *cluster {
-	c := &cluster{cfg: cfg, warmup: warmup, tenants: map[int]*tenantAcc{}}
+	c := &cluster{cfg: cfg, warmup: warmup}
 	c.reqs = make([]request, len(stream))
+	maxTenant := 0
 	for i, r := range stream {
 		c.reqs[i] = request{idx: i, arrival: r.Arrival, tenant: r.Tenant,
 			ids: r.Chunks, decode: r.DecodeTokens}
 		if r.Tenant != 0 {
 			c.multiTenant = true
 		}
+		if r.Tenant > maxTenant {
+			maxTenant = r.Tenant
+		}
 		if r.DecodeTokens > 0 {
 			c.hasDecode = true
 		}
+	}
+	if c.multiTenant {
+		c.tenants = make([]*tenantAcc, maxTenant+1)
 	}
 	// The warmup period ends when the first measured request arrives:
 	// every metric — TTFT, throughput, batch sizes, queue depth, replica
@@ -258,6 +301,28 @@ func (c *cluster) run() Result {
 			c.pfQueues[i] = sim.NewQueue[prefetchJob](c.clock)
 		}
 		c.predPend = make([]int, nodes)
+	}
+
+	// Preallocate the metric slices from the stream: one TTFT/E2E per
+	// measured request, one TBT per measured decode token. Appends in the
+	// hot loop then never grow the backing arrays.
+	measuredN, tbtN := 0, 0
+	for i := range c.reqs {
+		if c.reqs[i].arrival >= c.cutoff {
+			measuredN++
+			tbtN += c.reqs[i].decode
+		}
+	}
+	c.ttfts = make([]float64, 0, measuredN)
+	if c.hasDecode {
+		c.tbts = make([]float64, 0, tbtN)
+		c.e2es = make([]float64, 0, measuredN)
+	}
+	if c.schedOn {
+		c.prefillDelays = make([]float64, 0, measuredN)
+	}
+	if c.eventsOn {
+		c.ttftAt = make([]float64, 0, measuredN)
 	}
 
 	// The control process interleaves the two input streams in time
@@ -433,20 +498,18 @@ func (c *cluster) duplicationBytes() int64 {
 	return total - unique
 }
 
-// tenantUsage renders the per-tenant accumulators, ordered by tenant id.
-// Single-tenant streams report nil, keeping legacy Results unchanged.
+// tenantUsage renders the per-tenant accumulators, ordered by tenant id
+// (the dense slice index). Single-tenant streams report nil, keeping
+// legacy Results unchanged.
 func (c *cluster) tenantUsage() []TenantUsage {
 	if !c.multiTenant {
 		return nil
 	}
-	ids := make([]int, 0, len(c.tenants))
-	for id := range c.tenants {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	out := make([]TenantUsage, 0, len(ids))
-	for _, id := range ids {
-		acc := c.tenants[id]
+	var out []TenantUsage
+	for id, acc := range c.tenants {
+		if acc == nil {
+			continue // tenant never recorded a measured sample
+		}
 		out = append(out, TenantUsage{
 			Tenant:       id,
 			Requests:     len(acc.ttfts),
@@ -695,14 +758,35 @@ func (c *cluster) admit(req request, now float64, r int) *member {
 	}
 	steps := len(req.ids) + 1 // one per chunk, one for the query
 	service, lookups, hits, stall := c.serviceTime(si, req.ids, now)
-	m := &member{req: req, si: si, unit: service / float64(steps), remaining: steps,
+	var m *member
+	if n := len(c.memberPool); n > 0 {
+		m = c.memberPool[n-1]
+		c.memberPool = c.memberPool[:n-1]
+	} else {
+		m = &member{}
+	}
+	pay := m.genPayload
+	*m = member{req: req, si: si, unit: service / float64(steps), remaining: steps,
 		lookups: lookups, hits: hits}
+	m.genPayload = pay
 	if c.budget > 0 {
 		m.prefTotal = len(req.ids)*c.cfg.ChunkTokens + c.cfg.QueryTokens
 		m.perTok = service / float64(m.prefTotal)
 	}
 	if req.decode > 0 {
 		m.genKey = genKey(c.cfg, req.idx)
+		// One boxed payload per decoding member: every per-token Put
+		// rewrites this value instead of boxing a fresh interface. Pooled
+		// members carry theirs over.
+		if m.genPayload == nil {
+			m.genPayload = new(kvstore.Bytes)
+		}
+	}
+	if c.multiTenant && c.measured(req) {
+		// Resolve the tenant accumulator once here instead of on every
+		// recorded TTFT/TBT/E2E sample. Only measured requests record, so
+		// a warmup admission leaves no empty accumulator behind.
+		m.acc = c.acc(req.tenant)
 	}
 	// Admission-time telemetry follows its request through the unified
 	// warmup rule: measured iff the request arrived at or after the
@@ -795,7 +879,8 @@ func (c *cluster) firstToken(m *member, now float64) {
 	m.lastToken = now
 	if m.req.decode > 0 {
 		m.genBytes = c.tokenBytes
-		c.stores[m.si].Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
+		*m.genPayload = kvstore.Bytes(m.genBytes)
+		c.stores[m.si].Put(m.genKey, m.genPayload) //nolint:errcheck
 	}
 	if !c.measured(m.req) {
 		return
@@ -807,8 +892,8 @@ func (c *cluster) firstToken(m *member, now float64) {
 		// just its value — collected only under a membership schedule.
 		c.ttftAt = append(c.ttftAt, now)
 	}
-	if c.multiTenant {
-		c.acc(m.req.tenant).ttfts = append(c.acc(m.req.tenant).ttfts, ttft)
+	if m.acc != nil {
+		m.acc.ttfts = append(m.acc.ttfts, ttft)
 	}
 }
 
@@ -818,12 +903,13 @@ func (c *cluster) firstToken(m *member, now float64) {
 // chunks for the fast tiers is what makes decode-phase KV pressure real.
 func (c *cluster) token(m *member, now float64) {
 	m.genBytes += c.tokenBytes
-	c.stores[m.si].Put(m.genKey, kvstore.Bytes(m.genBytes)) //nolint:errcheck
+	*m.genPayload = kvstore.Bytes(m.genBytes)
+	c.stores[m.si].Put(m.genKey, m.genPayload) //nolint:errcheck
 	if c.measured(m.req) {
 		tbt := now - m.lastToken
 		c.tbts = append(c.tbts, tbt)
-		if c.multiTenant {
-			c.acc(m.req.tenant).tbts = append(c.acc(m.req.tenant).tbts, tbt)
+		if m.acc != nil {
+			m.acc.tbts = append(m.acc.tbts, tbt)
 		}
 	}
 	m.lastToken = now
@@ -833,6 +919,7 @@ func (c *cluster) token(m *member, now float64) {
 // released from the store, and post-warmup requests contribute their
 // completion statistics.
 func (c *cluster) retire(m *member, now float64) {
+	defer c.recycle(m) // the caller drops m from the batch after retire
 	if m.req.decode > 0 {
 		c.stores[m.si].Remove(m.genKey)
 	}
@@ -846,9 +933,8 @@ func (c *cluster) retire(m *member, now float64) {
 	if now > c.lastDone {
 		c.lastDone = now
 	}
-	var acc *tenantAcc
-	if c.multiTenant {
-		acc = c.acc(m.req.tenant)
+	acc := m.acc
+	if acc != nil {
 		acc.lookups += m.lookups
 		acc.hits += m.hits
 	}
@@ -864,7 +950,9 @@ func (c *cluster) retire(m *member, now float64) {
 	}
 }
 
-// acc returns (allocating if needed) the tenant's accumulator.
+// acc returns (allocating if needed) the tenant's accumulator. The dense
+// slice is sized from the stream's maximum tenant id in newCluster, so
+// the index is always in range.
 func (c *cluster) acc(tenant int) *tenantAcc {
 	a := c.tenants[tenant]
 	if a == nil {

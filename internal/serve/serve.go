@@ -597,6 +597,10 @@ func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, loo
 	cfg, store, chunkBytes := c.cfg, c.stores[si], c.chunkBytes
 	L := len(ids)*cfg.ChunkTokens + cfg.QueryTokens
 	spec := cfg.Spec
+	if c.chunkSized == nil {
+		// Boxed once, shared by every context-chunk insert of the run.
+		c.chunkSized = kvstore.Bytes(chunkBytes)
+	}
 	switch cfg.Scheme {
 	case baselines.FullRecompute:
 		return spec.FullPrefillTTFT(L), 0, 0, 0
@@ -607,7 +611,7 @@ func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, loo
 		key := prefixKey(cfg, ids[0])
 		_, _, hit := store.Get(key)
 		if !hit {
-			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
+			store.Put(key, c.chunkSized) //nolint:errcheck
 			return spec.FullPrefillTTFT(L), 1, 0, 0
 		}
 		rest := L - cfg.ChunkTokens
@@ -615,13 +619,30 @@ func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, loo
 
 	case baselines.FullKVReuse, baselines.CacheBlend:
 		found := 0
-		tierChunks := make([]int, store.Depth()) // hit chunks per tier
-		var waitCost float64                     // residual in-flight transfer waits
-		pending := make(map[chunk.ID]bool)       // missed keys awaiting insert
-		var missKeys, dupKeys []chunk.ID
+		// Cluster-owned scratch, reset per call: a request's chunk list is
+		// short, so a linear scan of the pending misses replaces the old
+		// per-call map, and the tier histogram and key slices are reused
+		// across every admission of the run.
+		depth := store.Depth()
+		if cap(c.tierScratch) < depth {
+			c.tierScratch = make([]int, depth)
+		}
+		tierChunks := c.tierScratch[:depth] // hit chunks per tier
+		for i := range tierChunks {
+			tierChunks[i] = 0
+		}
+		var waitCost float64 // residual in-flight transfer waits
+		missKeys, dupKeys := c.missScratch[:0], c.dupScratch[:0]
 		for _, id := range ids {
-			key := chunkKey(cfg, id)
-			if pending[key] {
+			key := c.chunkKeyOf(id)
+			pending := false // key already missed by this request, awaiting insert
+			for _, k := range missKeys {
+				if k == key {
+					pending = true
+					break
+				}
+			}
+			if pending {
 				// A repeat of a key this request will insert: resolved in
 				// the second pass, against the inserted copy.
 				dupKeys = append(dupKeys, key)
@@ -629,7 +650,6 @@ func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, loo
 			}
 			tier, wait, ok := c.lookup(si, key, now)
 			if !ok {
-				pending[key] = true
 				missKeys = append(missKeys, key)
 				continue
 			}
@@ -646,7 +666,7 @@ func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, loo
 			tierChunks[tier]++
 		}
 		for _, key := range missKeys {
-			store.Put(key, kvstore.Bytes(chunkBytes)) //nolint:errcheck
+			store.Put(key, c.chunkSized) //nolint:errcheck
 		}
 		for _, key := range dupKeys {
 			if tier, _, ok := c.lookup(si, key, now); ok {
@@ -654,6 +674,8 @@ func (c *cluster) serviceTime(si int, ids []int, now float64) (secs float64, loo
 				tierChunks[tier]++
 			}
 		}
+		// Hand the (possibly grown) scratch back for the next admission.
+		c.missScratch, c.dupScratch = missKeys, dupKeys
 		lookups, hits = int64(len(ids)), int64(found)
 		missTokens := (len(ids)-found)*cfg.ChunkTokens + cfg.QueryTokens
 		missCost := spec.Prefill(missTokens)

@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -57,7 +56,7 @@ func (c *Clock) Go(name string, fn func(p *Proc)) {
 		c.live--
 		c.yielded <- struct{}{} // return the run token for good
 	}()
-	c.at(c.now, func(float64) { c.resume(p) })
+	c.atProc(c.now, p)
 }
 
 // at schedules fn on the raw event heap.
@@ -66,7 +65,17 @@ func (c *Clock) at(t float64, fn func(now float64)) {
 		t = c.now
 	}
 	c.seq++
-	heap.Push(&c.heap, event{at: t, seq: c.seq, fn: fn})
+	c.heap.push(event{at: t, seq: c.seq, fn: fn})
+}
+
+// atProc schedules a resume of p — the closure-free fast form for the
+// dominant sleep/wake path.
+func (c *Clock) atProc(t float64, p *Proc) {
+	if t < c.now {
+		t = c.now
+	}
+	c.seq++
+	c.heap.push(event{at: t, seq: c.seq, p: p})
 }
 
 // resume hands the run token to p and waits for it to yield or exit.
@@ -93,7 +102,22 @@ func (p *Proc) Sleep(d float64) {
 
 // SleepUntil suspends the process until absolute virtual time t.
 func (p *Proc) SleepUntil(t float64) {
-	p.c.at(t, func(float64) { p.c.resume(p) })
+	c := p.c
+	if t < c.now {
+		t = c.now
+	}
+	// Fast path: if the wake event would be the strict heap minimum, this
+	// process is the next runnable one — advance the clock and keep
+	// running without the park/resume channel round-trip. Strictness
+	// matters: an equal-time event already in the heap has a smaller seq
+	// and must run first. Skipping the seq increment is safe because the
+	// relative push order of all other events (and so their tie-breaking)
+	// is unchanged.
+	if len(c.heap) == 0 || t < c.heap[0].at {
+		c.now = t
+		return
+	}
+	c.atProc(t, p)
 	p.park()
 }
 
@@ -101,15 +125,60 @@ func (p *Proc) SleepUntil(t float64) {
 // is drained, returning the final virtual time. It panics on deadlock —
 // processes still blocked with no event that could ever wake them.
 func (c *Clock) Run() float64 {
-	for c.heap.Len() > 0 {
-		ev := heap.Pop(&c.heap).(event)
+	for len(c.heap) > 0 {
+		ev := c.heap.pop()
 		c.now = ev.at
-		ev.fn(c.now)
+		if ev.p != nil {
+			c.resume(ev.p)
+		} else {
+			ev.fn(c.now)
+		}
 	}
 	if c.live > 0 {
 		panic(fmt.Sprintf("sim: deadlock: %d process(es) blocked at t=%.3f with no pending events", c.live, c.now))
 	}
 	return c.now
+}
+
+// ring is a power-of-two circular buffer. Unlike the previous
+// `s = s[1:]` FIFO idiom it releases popped slots (no dead head memory
+// retained for the run) and reuses its storage across push/pop cycles.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+func (r *ring[T]) len() int { return r.n }
+
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *ring[T]) pop() T {
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero // release the reference in the vacated slot
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+func (r *ring[T]) grow() {
+	next := len(r.buf) * 2
+	if next == 0 {
+		next = 8
+	}
+	buf := make([]T, next)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }
 
 // Queue is a FIFO channel between processes in virtual time. Pop blocks
@@ -118,8 +187,8 @@ func (c *Clock) Run() float64 {
 // deterministic.
 type Queue[T any] struct {
 	c       *Clock
-	items   []T
-	waiters []*Proc
+	items   ring[T]
+	waiters ring[*Proc]
 	closed  bool
 }
 
@@ -129,14 +198,14 @@ func NewQueue[T any](c *Clock) *Queue[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Push appends v and wakes the longest-waiting consumer, if any.
 func (q *Queue[T]) Push(v T) {
 	if q.closed {
 		panic("sim: push on closed queue")
 	}
-	q.items = append(q.items, v)
+	q.items.push(v)
 	q.wakeOne()
 }
 
@@ -148,29 +217,25 @@ func (q *Queue[T]) Closed() bool { return q.closed }
 // once the items drain.
 func (q *Queue[T]) Close() {
 	q.closed = true
-	for len(q.waiters) > 0 {
+	for q.waiters.len() > 0 {
 		q.wakeOne()
 	}
 }
 
 func (q *Queue[T]) wakeOne() {
-	if len(q.waiters) == 0 {
+	if q.waiters.len() == 0 {
 		return
 	}
-	p := q.waiters[0]
-	q.waiters = q.waiters[1:]
-	q.c.at(q.c.now, func(float64) { q.c.resume(p) })
+	q.c.atProc(q.c.now, q.waiters.pop())
 }
 
 // TryPop returns the head item without blocking (ok=false when empty).
 func (q *Queue[T]) TryPop() (T, bool) {
 	var zero T
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
 		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.items.pop(), true
 }
 
 // Pop blocks the process until an item is available, returning ok=false
@@ -184,7 +249,7 @@ func (q *Queue[T]) Pop(p *Proc) (T, bool) {
 			var zero T
 			return zero, false
 		}
-		q.waiters = append(q.waiters, p)
+		q.waiters.push(p)
 		p.park()
 	}
 }

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingFIFOAcrossWrap pushes and pops through many wrap-arounds and
+// checks strict FIFO order at every queue depth.
+func TestRingFIFOAcrossWrap(t *testing.T) {
+	var r ring[int]
+	next := 0 // next value to push
+	want := 0 // next value expected from pop
+	for depth := 0; depth < 13; depth++ {
+		for i := 0; i < 50; i++ {
+			for j := 0; j < depth; j++ {
+				r.push(next)
+				next++
+			}
+			for j := 0; j < depth; j++ {
+				if got := r.pop(); got != want {
+					t.Fatalf("depth %d: pop = %d, want %d", depth, got, want)
+				}
+				want++
+			}
+			if r.len() != 0 {
+				t.Fatalf("depth %d: len %d after drain", depth, r.len())
+			}
+		}
+	}
+}
+
+// TestQueueDrainedStorageBounded is the regression test for the old
+// `items = items[1:]` drift: a queue cycled through many push/pop rounds
+// must not grow its backing storage beyond the high-water depth. Under
+// the slice-drift implementation the backing array grew with every push
+// (the drained head was never reclaimed), so capacity scaled with total
+// throughput instead of peak occupancy.
+func TestQueueDrainedStorageBounded(t *testing.T) {
+	c := NewClock()
+	q := NewQueue[int](c)
+	const rounds, depth = 10000, 4
+	for i := 0; i < rounds; i++ {
+		for j := 0; j < depth; j++ {
+			q.Push(i*depth + j)
+		}
+		for j := 0; j < depth; j++ {
+			if _, ok := q.TryPop(); !ok {
+				t.Fatal("TryPop on non-empty queue failed")
+			}
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: len %d", q.Len())
+	}
+	// Power-of-two growth from a high-water mark of `depth` items can
+	// never need more than 2*depth slots; anything larger means storage
+	// scaled with throughput again.
+	if got := len(q.items.buf); got > 2*depth {
+		t.Fatalf("drained queue retains %d slots for peak depth %d: backing storage grew with throughput", got, depth)
+	}
+}
+
+// TestRingReleasesPoppedRefs checks that pop zeroes the vacated slot so
+// popped pointers do not stay reachable from the buffer for the rest of
+// the run.
+func TestRingReleasesPoppedRefs(t *testing.T) {
+	var r ring[*int]
+	v := new(int)
+	r.push(v)
+	r.pop()
+	for i, p := range r.buf {
+		if p != nil {
+			t.Fatalf("slot %d still holds a popped pointer", i)
+		}
+	}
+}
+
+// TestQueueWaitersWrap exercises the waiter ring across a wrap boundary:
+// more blocked consumers than the initial ring capacity, woken strictly
+// FIFO.
+func TestQueueWaitersWrap(t *testing.T) {
+	c := NewClock()
+	q := NewQueue[int](c)
+	const consumers = 20 // > initial ring capacity of 8
+	var order []string
+	for i := 0; i < consumers; i++ {
+		i := i
+		c.Go(fmt.Sprintf("c%d", i), func(p *Proc) {
+			v, ok := q.Pop(p)
+			if !ok {
+				return
+			}
+			order = append(order, fmt.Sprintf("c%d<-%d", i, v))
+		})
+	}
+	c.Go("producer", func(p *Proc) {
+		p.Sleep(1)
+		for i := 0; i < consumers; i++ {
+			q.Push(i)
+		}
+		q.Close()
+	})
+	c.Run()
+	if len(order) != consumers {
+		t.Fatalf("%d deliveries, want %d", len(order), consumers)
+	}
+	for i, got := range order {
+		if want := fmt.Sprintf("c%d<-%d", i, i); got != want {
+			t.Fatalf("delivery %d = %q, want %q (waiter FIFO broken)", i, got, want)
+		}
+	}
+}

@@ -6,36 +6,73 @@
 package sim
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/tensor"
 )
 
-// Event is a scheduled callback.
+// event is a scheduled wakeup. Exactly one of p and fn is set: p resumes
+// a parked process directly (the dominant Sleep/queue-wake path, no
+// closure allocation), fn runs an arbitrary callback.
 type event struct {
 	at  float64
 	seq int // tiebreaker for deterministic ordering
+	p   *Proc
 	fn  func(now float64)
 }
 
+// before orders events by (at, seq). seq is unique per clock, so this is
+// a total order: any correct heap pops the identical sequence.
+func (ev event) before(other event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
+	}
+	return ev.seq < other.seq
+}
+
+// eventHeap is a concrete binary min-heap on (at, seq). Typed push/pop
+// avoid the interface{} boxing of container/heap on every event.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(ev event) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = s
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = event{} // release closure/proc references in the dead slot
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && s[r].before(s[l]) {
+			least = r
+		}
+		if !s[least].before(s[i]) {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
 }
 
 // Engine runs events in virtual-time order.
@@ -57,7 +94,7 @@ func (e *Engine) At(t float64, fn func(now float64)) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.heap, event{at: t, seq: e.seq, fn: fn})
+	e.heap.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn delay seconds from now.
@@ -67,8 +104,8 @@ func (e *Engine) After(delay float64, fn func(now float64)) {
 
 // Run processes events until the queue drains, returning the final time.
 func (e *Engine) Run() float64 {
-	for e.heap.Len() > 0 {
-		ev := heap.Pop(&e.heap).(event)
+	for len(e.heap) > 0 {
+		ev := e.heap.pop()
 		e.now = ev.at
 		ev.fn(e.now)
 	}
