@@ -74,7 +74,12 @@ var gatedPrefixes = []string{
 func main() {
 	comparePath := flag.String("compare", "", "baseline BENCH_pr JSON to compare gated benchmarks against (exit 1 on regression)")
 	threshold := flag.Float64("threshold", 0.20, "allowed fractional ns/op growth for gated benchmarks")
+	markdownPath := flag.String("markdown", "", "append the gated-benchmark comparison as a markdown table to this file (requires -compare); pass $GITHUB_STEP_SUMMARY to surface it on the CI run page")
 	flag.Parse()
+	if *markdownPath != "" && *comparePath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -markdown renders the comparison table and needs -compare")
+		os.Exit(1)
+	}
 	out, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -99,6 +104,21 @@ func main() {
 		os.Exit(1)
 	}
 	regressions := Compare(out, base, *threshold)
+	// The summary table is written before the regression exit so a failed
+	// gate still shows its numbers on the run page.
+	if *markdownPath != "" {
+		md := Markdown(out, base, *comparePath, *threshold)
+		f, err := os.OpenFile(*markdownPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if _, err := f.WriteString(md); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	for _, r := range regressions {
 		fmt.Fprintln(os.Stderr, "benchjson: regression:", r)
 	}
@@ -155,6 +175,53 @@ func Compare(cur, base map[string]Bench, threshold float64) []string {
 		}
 	}
 	return out
+}
+
+// Markdown renders the gated benchmarks as a GitHub-flavoured table —
+// baseline vs current ns/op and allocs/op with the growth percentage,
+// deltas past the threshold bolded — for the CI step summary. Benchmarks
+// without a baseline entry show "new"; baselines recorded before
+// -benchmem show "–" in the allocation columns.
+func Markdown(cur, base map[string]Bench, baseName string, threshold float64) string {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if gated(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Gated serving benchmarks vs `%s` (limit +%.0f%%)\n\n", baseName, threshold*100)
+	b.WriteString("| benchmark | ns/op (base) | ns/op | Δ | allocs/op (base) | allocs/op | Δ |\n")
+	b.WriteString("|---|---:|---:|---:|---:|---:|---:|\n")
+	delta := func(now, old float64) string {
+		if now <= 0 {
+			return "–"
+		}
+		if old <= 0 {
+			return "new"
+		}
+		pct := (now/old - 1) * 100
+		s := fmt.Sprintf("%+.1f%%", pct)
+		if now > old*(1+threshold) {
+			return "**" + s + "**"
+		}
+		return s
+	}
+	val := func(v float64) string {
+		if v <= 0 {
+			return "–"
+		}
+		return fmt.Sprintf("%.0f", v)
+	}
+	for _, name := range names {
+		now, old := cur[name], base[name]
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s | %s |\n",
+			name, val(old.NsPerOp), val(now.NsPerOp), delta(now.NsPerOp, old.NsPerOp),
+			val(old.AllocsPerOp), val(now.AllocsPerOp), delta(now.AllocsPerOp, old.AllocsPerOp))
+	}
+	b.WriteString("\n")
+	return b.String()
 }
 
 func gated(name string) bool {

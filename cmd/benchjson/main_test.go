@@ -125,3 +125,38 @@ func TestCompareGatesAllocations(t *testing.T) {
 		t.Fatalf("want ns/op and allocs/op regressions, got %v", got)
 	}
 }
+
+func TestMarkdownTable(t *testing.T) {
+	base := map[string]Bench{
+		"BenchmarkServeSched/fifo":  {NsPerOp: 100, AllocsPerOp: 1000},
+		"BenchmarkServeTiered/hbm":  {NsPerOp: 200},
+		"BenchmarkServeReplicas/r1": {NsPerOp: 50},
+	}
+	cur := map[string]Bench{
+		"BenchmarkServeSched/fifo": {NsPerOp: 150, AllocsPerOp: 1100}, // +50% ns: past limit
+		"BenchmarkServeTiered/hbm": {NsPerOp: 190},                    // improvement
+		"BenchmarkServeSched/new":  {NsPerOp: 999},                    // no baseline
+		"BenchmarkFuse":            {NsPerOp: 10},                     // micro: excluded
+	}
+	md := Markdown(cur, base, "benchdata/BENCH_pr9.json", 0.20)
+	if !strings.Contains(md, "benchdata/BENCH_pr9.json") || !strings.Contains(md, "limit +20%") {
+		t.Fatalf("header missing baseline or threshold:\n%s", md)
+	}
+	if !strings.Contains(md, "| `BenchmarkServeSched/fifo` | 100 | 150 | **+50.0%** | 1000 | 1100 | +10.0% |") {
+		t.Fatalf("fifo row wrong (regression must be bolded):\n%s", md)
+	}
+	if !strings.Contains(md, "| `BenchmarkServeTiered/hbm` | 200 | 190 | -5.0% | – | – | – |") {
+		t.Fatalf("hbm row wrong (no alloc data must render as dashes):\n%s", md)
+	}
+	if !strings.Contains(md, "| `BenchmarkServeSched/new` | – | 999 | new |") {
+		t.Fatalf("baseline-less benchmark must render as new:\n%s", md)
+	}
+	if strings.Contains(md, "BenchmarkFuse") {
+		t.Fatalf("micro benchmark leaked into the gated table:\n%s", md)
+	}
+	// Retired benchmarks (baseline-only) don't get rows: the table is the
+	// current run's gated set.
+	if strings.Contains(md, "BenchmarkServeReplicas/r1") {
+		t.Fatalf("retired benchmark leaked into the table:\n%s", md)
+	}
+}

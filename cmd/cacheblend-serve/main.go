@@ -21,6 +21,8 @@
 //	cacheblend-serve -router affinity -replicas 4 -tiers gpu-hbm:8,cpu-ram:48,slow-ssd:0 -tenants 4 -rates 16 -kill 15:1 -join 26:1 -v
 //	cacheblend-serve -workload bursty -rates 1 -record run.jsonl
 //	cacheblend-serve -trace run.jsonl     # bit-identical replay
+//	cacheblend-serve -closed-loop 6 -tenants 3 -think 2 -decode 32 -batch 8 -v
+//	cacheblend-serve -closed-loop 12 -tenants 3 -sched slo -slo-ttft 2 -slo-tbt 0.05 -decode 32 -batch 8 -v
 package main
 
 import (
@@ -56,7 +58,9 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "model replicas pulling from the shared queue")
 		batch     = flag.Int("batch", 1, "continuous-batching cap per replica step")
 		sched     = flag.String("sched", "", "scheduling policy (fifo, chunked-prefill, decode-priority, slo); empty = legacy FIFO without scheduling telemetry")
-		budget    = flag.Int("prefill-budget", 0, "chunked-prefill per-step prefill token budget (0 = default 256; requires -sched chunked-prefill)")
+		budget    = flag.Int("prefill-budget", 0, "chunked-prefill per-step prefill token budget (0 = default 256; requires -sched chunked-prefill or slo)")
+		sloTTFT   = flag.Float64("slo-ttft", 0, "TTFT SLO target in seconds (requires -sched; the slo policy schedules against it, any policy reports attainment)")
+		sloTBT    = flag.Float64("slo-tbt", 0, "mean-TBT SLO target in seconds (requires -sched)")
 		prefetch  = flag.String("prefetch", "", "tier prefetch policy (off, on-enqueue, predictive); empty = legacy synchronous loading without prefetch telemetry")
 		router    = flag.String("router", "", "replica-routing policy (shared, hash, affinity); empty = legacy shared store without router telemetry; hash/affinity give each replica its own tier stack")
 		prefBW    = flag.Float64("prefetch-bw", 0, "loader bandwidth budget as a fraction of the source tier's read bandwidth in (0,1] (0 = full bandwidth; requires an active -prefetch policy)")
@@ -77,6 +81,8 @@ func main() {
 		decodeDist   = flag.String("decode-dist", "geometric", "generation-length distribution: geometric or fixed")
 		tracePath    = flag.String("trace", "", "replay a recorded JSONL trace instead of generating a workload")
 		recordPath   = flag.String("record", "", "record the generated request stream to a JSONL trace (requires exactly one rate)")
+		closedLoop   = flag.Int("closed-loop", 0, "closed-loop clients per tenant (0 = open-loop arrivals); each client waits for its completion plus a think-time draw before the next request, so the realised rate is an output and -rates does not apply")
+		think        = flag.Float64("think", 2, "closed-loop mean think time in seconds between a client's completion and its next request (requires -closed-loop)")
 	)
 	flag.Parse()
 
@@ -87,6 +93,15 @@ func main() {
 	}
 	if *tracePath != "" && (set["decode"] || set["decode-dist"]) {
 		fatal(fmt.Errorf("-trace replays a recorded stream (its decode budgets included) and cannot be combined with -decode/-decode-dist"))
+	}
+	if *closedLoop > 0 {
+		for _, conflict := range []string{"rates", "workload", "burst", "amplitude", "record", "trace"} {
+			if set[conflict] {
+				fatal(fmt.Errorf("-closed-loop drives arrivals from completions and cannot be combined with -%s", conflict))
+			}
+		}
+	} else if set["think"] {
+		fatal(fmt.Errorf("-think is the closed-loop think time and needs -closed-loop"))
 	}
 	// Profiling hooks for the performance work: the CPU profile brackets
 	// everything from here (setup cost is noise next to the runs), the
@@ -143,6 +158,8 @@ func main() {
 		MaxBatch:         *batch,
 		Sched:            *sched,
 		PrefillBudget:    *budget,
+		SLOTTFT:          *sloTTFT,
+		SLOTBT:           *sloTBT,
 		PrefetchPolicy:   *prefetch,
 		PrefetchBW:       *prefBW,
 		Router:           *router,
@@ -190,6 +207,26 @@ func main() {
 		fmt.Printf("model=%s scheme=%s placement=%s workload=%s requests=%d replicas=%d batch-cap=%d sched=%s\n",
 			spec.Name, cfg.Scheme, placement, tr.Name(), len(tr.Reqs), *replicas, *batch, schedName)
 		res, err := serve.RunWorkload(cfg, tr, len(tr.Reqs), len(tr.Reqs)/3, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res, *verbose)
+		return
+	}
+
+	// Closed-loop run: the client pool is the load knob, so there is no
+	// rates loop — one run, with the realised arrival rate in the Result.
+	if *closedLoop > 0 {
+		w := workload.ClosedLoop{
+			Tenants: *tenants,
+			Clients: *closedLoop,
+			Think:   *think,
+			Chunks:  workload.Chunks{Pool: cfg.ChunkPool, PerRequest: cfg.ChunksPerRequest, Skew: cfg.Skew},
+			Decode:  dec,
+		}
+		fmt.Printf("model=%s scheme=%s placement=%s workload=%s tenants=%d decode=%g pool=%d chunks=%d×%d tokens replicas=%d batch-cap=%d sched=%s\n",
+			spec.Name, cfg.Scheme, placement, w.Name(), *tenants, *decodeMean, *pool, *chunks, *chunkTok, *replicas, *batch, schedName)
+		res, err := serve.RunWorkload(cfg, w, *n, *n/3, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -287,6 +324,9 @@ func printResult(res serve.Result, verbose bool) {
 		if tu.OutputTokens > 0 {
 			line += fmt.Sprintf(" tbt=%.3fs e2e=%.3fs tokens=%d", tu.MeanTBT, tu.MeanE2E, tu.OutputTokens)
 		}
+		if tu.SLOAttainment > 0 {
+			line += fmt.Sprintf(" slo=%.0f%%", tu.SLOAttainment*100)
+		}
 		fmt.Println(line)
 	}
 	if res.OutputTokens > 0 {
@@ -296,6 +336,11 @@ func printResult(res serve.Result, verbose bool) {
 	if res.StallTime > 0 || res.MeanPrefillDelay > 0 {
 		fmt.Printf("  sched stall=%.1fs prefill-delay=%.3fs p95=%.3fs\n",
 			res.StallTime, res.MeanPrefillDelay, res.P95PrefillDelay)
+	}
+	if res.SLOAttainment > 0 || res.SLOViolations > 0 {
+		fmt.Printf("  slo attain=%.1f%% ttft-attain=%.1f%% tbt-attain=%.1f%% goodput=%.3f req/s violations=%d\n",
+			res.SLOAttainment*100, res.SLOTTFTAttainment*100, res.SLOTBTAttainment*100,
+			res.Goodput, res.SLOViolations)
 	}
 	if res.Router != "" {
 		line := fmt.Sprintf("  router %-8s load-skew=%.2f replica-hits=%s replica-reqs=%v",

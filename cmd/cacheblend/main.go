@@ -26,8 +26,15 @@ func main() {
 		cases    = flag.Int("cases", 25, "max dataset cases per quality experiment (0 = preset size)")
 		requests = flag.Int("requests", 1500, "requests per serving-simulation point")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Int("parallel", 0, "max simulation cells running concurrently (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
+
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "cacheblend: -parallel %d: must be ≥ 0\n", *parallel)
+		os.Exit(2)
+	}
+	experiments.MaxParallel = *parallel
 
 	if *list || *fig == "" {
 		fmt.Println("reproducible figures:")

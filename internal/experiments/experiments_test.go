@@ -27,7 +27,7 @@ func TestTableFormatAndCSV(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch", "router", "failover"}
+	want := []string{"2", "6", "7", "8", "10", "12", "13", "14", "15", "16", "17", "burst", "decode", "sched", "prefetch", "router", "failover", "slo"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(all), len(want))
@@ -416,5 +416,53 @@ func TestFailoverSweepShape(t *testing.T) {
 	}
 	if a, h := get("affinity", "rewarm(s)"), get("hash", "rewarm(s)"); a >= h {
 		t.Fatalf("affinity re-warm stall %.2f s not below hash %.2f s", a, h)
+	}
+}
+
+// TestSLOSweepShape is the deadline-aware-scheduling acceptance check.
+// At overload (the largest closed-loop client pool) the slo policy must
+// beat FIFO and decode-priority on SLO attainment — holding late
+// requests back so feasible ones make their targets is the whole point —
+// and the open-loop rows must show the self-throttling contrast: a
+// closed pool's admission queue is bounded by its client count while the
+// open-loop queue at the same offered rate grows far past it.
+func TestSLOSweepShape(t *testing.T) {
+	tab := SLOSweep(400)
+	if len(tab.Rows) != 4*3+3 {
+		t.Fatalf("want 15 rows (4 policies × 3 loads closed + 3 open), got %d", len(tab.Rows))
+	}
+	get := func(loop, policy, load, col string) float64 {
+		for i, row := range tab.Rows {
+			if row[0] == loop && row[1] == policy && row[2] == load {
+				return num(t, cell(t, tab, i, col))
+			}
+		}
+		t.Fatalf("row %s/%s/%s missing", loop, policy, load)
+		return 0
+	}
+	for _, load := range []string{"moderate", "overload"} {
+		slo := get("closed", "slo", load, "attain")
+		for _, rival := range []string{"fifo", "decode-priority", "chunked-prefill"} {
+			if r := get("closed", rival, load, "attain"); slo <= r {
+				t.Fatalf("%s: slo attainment %.3f not above %s's %.3f", load, slo, rival, r)
+			}
+		}
+		if sg, fg := get("closed", "slo", load, "goodput(r/s)"), get("closed", "fifo", load, "goodput(r/s)"); sg <= fg {
+			t.Fatalf("%s: slo goodput %.3f not above fifo's %.3f", load, sg, fg)
+		}
+	}
+	// Self-throttling: the closed overload pool (3 tenants × 12 clients)
+	// bounds its queue at the client count; the open-loop stream at the
+	// matching offered rate does not.
+	if q := get("closed", "fifo", "overload", "queue"); q > 36 {
+		t.Fatalf("closed-loop mean queue depth %.1f exceeds the 36-client pool", q)
+	}
+	if oq, cq := get("open", "fifo", "overload", "queue"), get("closed", "fifo", "overload", "queue"); oq <= 2*cq {
+		t.Fatalf("open-loop queue depth %.1f not well above closed-loop's %.1f", oq, cq)
+	}
+	// The closed loop's realised rate flattens at saturation instead of
+	// tracking the offered rate the open-loop rows are fed.
+	if cr, or := get("closed", "fifo", "overload", "rate(r/s)"), get("open", "fifo", "overload", "rate(r/s)"); cr >= or/2 {
+		t.Fatalf("closed-loop realised rate %.2f did not self-throttle below the offered %.2f", cr, or)
 	}
 }

@@ -58,6 +58,8 @@ func All() []Entry {
 			func(o RunOpts) []*Table { return []*Table{RouterSweep(o.Requests)} }},
 		{"failover", "replica failure and scale-out: membership kill/join, re-routing and re-warm cost per routing policy",
 			func(o RunOpts) []*Table { return []*Table{FailoverSweep(o.Requests)} }},
+		{"slo", "deadline-aware scheduling on closed-loop multi-tenant traffic: SLO attainment and goodput vs policy and load",
+			func(o RunOpts) []*Table { return []*Table{SLOSweep(o.Requests)} }},
 	}
 }
 

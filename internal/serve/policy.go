@@ -14,7 +14,10 @@
 // Result quantify what each removes.
 package serve
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Scheduling policy names accepted by Config.Sched.
 const (
@@ -34,10 +37,14 @@ const (
 	// Config.StarveLimit consecutive deferred step boundaries so
 	// prefill delay stays finite at overload.
 	SchedDecodePriority = "decode-priority"
-	// SchedSLO is a stub for SLO-aware admission: it behaves like FIFO
-	// today and reserves the name for per-tenant SLO targets (see the
-	// ROADMAP closed-loop item), so configs and traces can already pin
-	// the policy axis.
+	// SchedSLO is deadline-aware admission against Config.SLOTTFT
+	// (required) and SLOTBT: the replica pops the queue in SLO order —
+	// aged requests first (waiting past StarveLimit×SLOTTFT, the
+	// starvation bound), then still-feasible requests by at-risk-tenant
+	// priority and earliest deadline, with already-late requests
+	// deprioritised so they can't drag feasible ones past their targets
+	// — and bounds per-step prefill like chunked-prefill (the budget
+	// shared in the same SLO order) so resident decoders hold TBT.
 	SchedSLO = "slo"
 )
 
@@ -93,12 +100,15 @@ func (p decodePriorityPolicy) AdmitQuota(prefillers, decoders, headroom, deferre
 }
 func (decodePriorityPolicy) PrefillBudget() int { return 0 }
 
-// sloPolicy is the SLO-aware stub: FIFO behaviour under a reserved name.
-type sloPolicy struct{}
+// sloPolicy admits greedily by count — which requests fill the quota is
+// decided at the queue, where the replica pops in SLO order — and bounds
+// per-step prefill like chunked-prefill: TBT is half the SLO, so a
+// joining prefill must not stall resident decoders for a whole chunk.
+type sloPolicy struct{ budget int }
 
 func (sloPolicy) Name() string                  { return SchedSLO }
 func (sloPolicy) AdmitQuota(_, _, h, _ int) int { return h }
-func (sloPolicy) PrefillBudget() int            { return 0 }
+func (p sloPolicy) PrefillBudget() int          { return p.budget }
 
 // policy constructs the configured scheduling policy. Call after
 // Validate: unknown names panic here.
@@ -111,7 +121,7 @@ func (c Config) policy() Policy {
 	case SchedDecodePriority:
 		return decodePriorityPolicy{starve: c.starveLimit()}
 	case SchedSLO:
-		return sloPolicy{}
+		return sloPolicy{budget: c.prefillBudget()}
 	}
 	panic(fmt.Sprintf("serve: unknown scheduling policy %q", c.Sched))
 }
@@ -153,5 +163,121 @@ func allocPrefill(batch []*member, budget int) (prefillers, decoders int, longes
 			longest = t
 		}
 	}
+	return prefillers, decoders, longest
+}
+
+// SLO admission order. The slo policy pops the queue — and shares the
+// per-step prefill budget — by a three-class key:
+//
+//	class 0 (aged):     waiting longer than StarveLimit×SLOTTFT. Front of
+//	                    the line unconditionally, so the deprioritised
+//	                    late class below can never starve — the wait of
+//	                    any request is bounded by the aging threshold
+//	                    plus one queue drain, mirroring decode-priority's
+//	                    StarveLimit bound.
+//	class 1 (feasible): still inside its TTFT target. Ordered by at-risk
+//	                    tenant first (the tenant with the worst running
+//	                    attainment — the per-tenant fairness the ISSUE's
+//	                    multi-tenant sweeps measure), then earliest
+//	                    arrival, i.e. earliest deadline first (uniform
+//	                    targets make EDF and FIFO coincide within a
+//	                    tenant).
+//	class 2 (late):     past its target but not yet aged. Serving these
+//	                    before feasible work converts near-miss requests
+//	                    into violations one by one; holding them back is
+//	                    what buys attainment and goodput at overload.
+//
+// sloClass computes the class of a queued request at virtual time now.
+func (c *cluster) sloClass(r request, now float64) int {
+	wait := now - r.arrival
+	if wait > float64(c.starve)*c.sloTTFT {
+		return 0
+	}
+	if wait <= c.sloTTFT {
+		return 1
+	}
+	return 2
+}
+
+// sloLess is the admission order at virtual time now: class, then tenant
+// risk (higher first), then arrival, then index — a strict weak order, so
+// min-pops and sorts are deterministic.
+func (c *cluster) sloLess(a, b request, now float64) bool {
+	if ca, cb := c.sloClass(a, now), c.sloClass(b, now); ca != cb {
+		return ca < cb
+	}
+	if ra, rb := c.tenantRisk(a.tenant), c.tenantRisk(b.tenant); ra != rb {
+		return ra > rb
+	}
+	if a.arrival != b.arrival {
+		return a.arrival < b.arrival
+	}
+	return a.idx < b.idx
+}
+
+// tenantRisk is the tenant's running SLO miss rate over every completion
+// so far (warmup included — the scheduler needs signal from the start; the
+// reported attainment telemetry stays post-warmup only). Tenants with no
+// completions yet carry zero risk.
+func (c *cluster) tenantRisk(t int) float64 {
+	if t >= len(c.riskDone) || c.riskDone[t] == 0 {
+		return 0
+	}
+	return 1 - float64(c.riskMet[t])/float64(c.riskDone[t])
+}
+
+// bumpRisk records one completed request's SLO outcome into its tenant's
+// running risk, growing the dense counters on first sight of a tenant.
+func (c *cluster) bumpRisk(t int, met bool) {
+	if t >= len(c.riskDone) {
+		done := make([]int64, t+1)
+		metc := make([]int64, t+1)
+		copy(done, c.riskDone)
+		copy(metc, c.riskMet)
+		c.riskDone, c.riskMet = done, metc
+	}
+	c.riskDone[t]++
+	if met {
+		c.riskMet[t]++
+	}
+}
+
+// allocPrefillSLO is allocPrefill with the grant order decided by the SLO
+// admission key instead of batch (admission) order: at a step boundary
+// the budget drains into the most deadline-urgent resident prefiller
+// first, so a request admitted early but still feasible cannot hold the
+// whole budget while an aged or at-risk neighbour idles. Same contract
+// otherwise: a positive budget always grants the first-ordered prefiller
+// at least one token, slices never exceed remaining tokens.
+func (c *cluster) allocPrefillSLO(batch []*member, budget int, now float64) (prefillers, decoders int, longest float64) {
+	order := c.sloOrder[:0]
+	for _, m := range batch {
+		if m.decoding {
+			decoders++
+			continue
+		}
+		m.slice = 0
+		order = append(order, m)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return c.sloLess(order[i].req, order[j].req, now)
+	})
+	left := budget
+	for _, m := range order {
+		if left <= 0 {
+			break
+		}
+		grant := m.prefTotal - m.prefDone
+		if grant > left {
+			grant = left
+		}
+		m.slice = grant
+		left -= grant
+		prefillers++
+		if t := float64(grant) * m.perTok; t > longest {
+			longest = t
+		}
+	}
+	c.sloOrder = order // hand the (possibly grown) scratch back
 	return prefillers, decoders, longest
 }

@@ -32,15 +32,26 @@ func tenantDecode(rate float64) workload.Workload {
 		workload.Decode{Mean: 32})
 }
 
+// sloConfig is schedConfig for the slo policy, which requires a TTFT
+// target to schedule against.
+func sloConfig() Config {
+	cfg := schedConfig(SchedSLO)
+	cfg.SLOTTFT = 2
+	return cfg
+}
+
 // TestSchedValidate pins the policy-axis validation: unknown names and
 // knobs paired with policies that ignore them must fail loudly, every
 // valid policy name must pass.
 func TestSchedValidate(t *testing.T) {
-	for _, sched := range []string{"", SchedFIFO, SchedChunkedPrefill, SchedDecodePriority, SchedSLO} {
+	for _, sched := range []string{"", SchedFIFO, SchedChunkedPrefill, SchedDecodePriority} {
 		cfg := schedConfig(sched)
 		if err := cfg.Validate(); err != nil {
 			t.Fatalf("policy %q rejected: %v", sched, err)
 		}
+	}
+	if err := sloConfig().Validate(); err != nil {
+		t.Fatalf("slo policy with a TTFT target rejected: %v", err)
 	}
 	bad := []struct {
 		name   string
@@ -53,6 +64,11 @@ func TestSchedValidate(t *testing.T) {
 		{"budget without chunked", func(c *Config) { c.Sched = SchedFIFO; c.PrefillBudget = 64 }, "prefill budget"},
 		{"budget on legacy default", func(c *Config) { c.PrefillBudget = 64 }, "prefill budget"},
 		{"starve without decode-priority", func(c *Config) { c.Sched = SchedChunkedPrefill; c.StarveLimit = 4 }, "starve limit"},
+		{"slo without target", func(c *Config) { c.Sched = SchedSLO }, "TTFT target"},
+		{"targets without policy", func(c *Config) { c.SLOTTFT = 2 }, "explicit scheduling policy"},
+		{"tbt target without policy", func(c *Config) { c.SLOTBT = 0.05 }, "explicit scheduling policy"},
+		{"negative ttft target", func(c *Config) { c.Sched = SchedFIFO; c.SLOTTFT = -1 }, "TTFT SLO target"},
+		{"nan tbt target", func(c *Config) { c.Sched = SchedFIFO; c.SLOTBT = math.NaN() }, "TBT SLO target"},
 	}
 	for _, tc := range bad {
 		cfg := schedConfig("")
@@ -64,8 +80,7 @@ func TestSchedValidate(t *testing.T) {
 	}
 }
 
-// TestFIFOPolicyMatchesLegacy: naming "fifo" (and the "slo" stub, which
-// is FIFO behaviour under a reserved name) must reproduce the legacy
+// TestFIFOPolicyMatchesLegacy: naming "fifo" must reproduce the legacy
 // default schedule exactly — same TTFT, TBT, throughput, step mix, every
 // shared field — adding only the scheduling telemetry the default leaves
 // zero.
@@ -79,23 +94,21 @@ func TestFIFOPolicyMatchesLegacy(t *testing.T) {
 		t.Fatalf("legacy default populated scheduling telemetry: stall=%v delay=%v/%v",
 			legacy.StallTime, legacy.MeanPrefillDelay, legacy.P95PrefillDelay)
 	}
-	for _, sched := range []string{SchedFIFO, SchedSLO} {
-		got, err := RunWorkload(schedConfig(sched), w, 300, 100, 7)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got.StallTime <= 0 || got.MeanPrefillDelay <= 0 {
-			t.Fatalf("%s: scheduling telemetry missing under load: stall=%v delay=%v",
-				sched, got.StallTime, got.MeanPrefillDelay)
-		}
-		// Strip the telemetry and the rest must be byte-identical.
-		stripped := got
-		stripped.StallTime, stripped.MeanPrefillDelay, stripped.P95PrefillDelay = 0, 0, 0
-		gj, _ := json.Marshal(stripped)
-		lj, _ := json.Marshal(legacy)
-		if string(gj) != string(lj) {
-			t.Fatalf("%s drifted from the legacy schedule:\n got %s\nwant %s", sched, gj, lj)
-		}
+	got, err := RunWorkload(schedConfig(SchedFIFO), w, 300, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.StallTime <= 0 || got.MeanPrefillDelay <= 0 {
+		t.Fatalf("fifo: scheduling telemetry missing under load: stall=%v delay=%v",
+			got.StallTime, got.MeanPrefillDelay)
+	}
+	// Strip the telemetry and the rest must be byte-identical.
+	stripped := got
+	stripped.StallTime, stripped.MeanPrefillDelay, stripped.P95PrefillDelay = 0, 0, 0
+	gj, _ := json.Marshal(stripped)
+	lj, _ := json.Marshal(legacy)
+	if string(gj) != string(lj) {
+		t.Fatalf("fifo drifted from the legacy schedule:\n got %s\nwant %s", gj, lj)
 	}
 }
 
@@ -110,7 +123,11 @@ func TestPolicyTokenConservation(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, sched := range []string{SchedFIFO, SchedChunkedPrefill, SchedDecodePriority, SchedSLO} {
-			res, err := RunWorkload(schedConfig(sched), w, 300, 100, 3)
+			cfg := schedConfig(sched)
+			if sched == SchedSLO {
+				cfg.SLOTTFT = 2
+			}
+			res, err := RunWorkload(cfg, w, 300, 100, 3)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +211,7 @@ func TestChunkedStepNeverSlowsDecode(t *testing.T) {
 			}
 			batch[i] = m
 		}
-		budgeted, _ := c.planStep(batch)
+		budgeted, _ := c.planStep(batch, 0)
 		legacy := c.stepTime(batch)
 		// Same decode progress either way: one token per resident
 		// decoder per step, by construction of the advance loop — so
@@ -270,15 +287,17 @@ func TestAdmitQuotaContracts(t *testing.T) {
 			t.Fatalf("%s: quota %d, want headroom 3", sched, q)
 		}
 	}
-	if b := schedConfig(SchedChunkedPrefill).policy().PrefillBudget(); b != 256 {
-		t.Fatalf("chunked default budget %d, want 256", b)
+	for _, sched := range []string{SchedChunkedPrefill, SchedSLO} {
+		if b := schedConfig(sched).policy().PrefillBudget(); b != 256 {
+			t.Fatalf("%s default budget %d, want 256", sched, b)
+		}
+		c := schedConfig(sched)
+		c.PrefillBudget = 64
+		if b := c.policy().PrefillBudget(); b != 64 {
+			t.Fatalf("%s configured budget %d, want 64", sched, b)
+		}
 	}
-	c := schedConfig(SchedChunkedPrefill)
-	c.PrefillBudget = 64
-	if b := c.policy().PrefillBudget(); b != 64 {
-		t.Fatalf("configured budget %d, want 64", b)
-	}
-	for _, sched := range []string{"", SchedFIFO, SchedDecodePriority, SchedSLO} {
+	for _, sched := range []string{"", SchedFIFO, SchedDecodePriority} {
 		c := schedConfig(sched)
 		if b := c.policy().PrefillBudget(); b != 0 {
 			t.Fatalf("%s: whole-chunk policy reports budget %d", sched, b)

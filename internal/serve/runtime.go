@@ -17,6 +17,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/chunk"
 	"repro/internal/engine"
@@ -33,6 +34,7 @@ type request struct {
 	tenant  int
 	ids     []int // retrieved chunk ids, from the workload stream
 	decode  int   // decode steps after the first token, from the stream
+	client  int   // issuing closed-loop client (0 under open-loop streams)
 }
 
 // member is a request resident in a replica's running batch: a two-phase
@@ -51,6 +53,8 @@ type member struct {
 	slice         int     // tokens granted for the current step
 	decoding      bool    // prefill finished, decode phase entered
 	lastToken     float64 // virtual time the latest token was emitted
+	ttft          float64 // realised TTFT (recorded only when SLOs are evaluated)
+	tbtSum        float64 // summed TBT samples (ditto), for the mean-TBT target
 	si            int     // index of the store the request was admitted against
 	genKey        chunk.ID
 	genBytes      int64          // generated-KV footprint resident in the store
@@ -61,11 +65,12 @@ type member struct {
 
 // tenantAcc accumulates one tenant's post-warmup service statistics.
 type tenantAcc struct {
-	ttfts         []float64
-	tbts          []float64
-	e2es          []float64
-	outTokens     int64
-	lookups, hits int64
+	ttfts           []float64
+	tbts            []float64
+	e2es            []float64
+	outTokens       int64
+	lookups, hits   int64
+	sloDone, sloMet int64 // completions SLO-evaluated / meeting every target
 }
 
 // cluster is the state of one simulated run. The store-shaped state —
@@ -104,6 +109,28 @@ type cluster struct {
 	reroutedN  int64                     // requests drained off dead nodes and re-routed
 	firstKill  float64                   // virtual time of the first kill (-1 = none yet)
 	ttftAt     []float64                 // first-token timestamps matching ttfts (events only)
+
+	// Closed-loop drive: non-nil closed means arrivals come from the
+	// workload session, fed each completion at retirement, instead of a
+	// pre-materialised stream.
+	closed     workload.Session
+	closedN    int              // the session's total request budget
+	initIssues []workload.Issue // the initial wave, arrival-ordered
+
+	// SLO state. sloSched orders admission by deadline (the slo policy);
+	// sloOn populates the attainment telemetry — either alone is valid
+	// (slo scheduling is always target-driven, but fifo can be measured
+	// against targets too).
+	sloSched          bool
+	sloOn             bool
+	sloTTFT, sloTBT   float64
+	starve            int                     // aging bound in TTFT targets (cfg.starveLimit())
+	sloCmp            func(a, b request) bool // queue pop order at the current virtual time
+	riskMet, riskDone []int64                 // per-tenant running SLO outcomes (all completions)
+	sloOK             int64                   // measured completions meeting every target
+	sloTTFTOK         int64                   // … meeting the TTFT target
+	sloTBTOK          int64                   // … meeting the TBT target
+	sloOrder          []*member               // allocPrefillSLO sort scratch
 
 	ttfts         []float64
 	tbts          []float64
@@ -179,7 +206,17 @@ func (c *cluster) qi(r int) int {
 // regardless of index, and a warmup request admitted late contributes
 // nothing. Interval samples (observeStep) instead credit their
 // post-cutoff overlap, since a step is not owned by one request.
-func (c *cluster) measured(req request) bool { return req.arrival >= c.cutoff }
+//
+// Closed-loop runs use dispatch order instead: requests materialise one
+// at a time in nondecreasing arrival order, so "the first warmup
+// requests" is exactly idx < warmup, and the cutoff timestamp (set when
+// the warmup-th request is issued) only drives the interval metrics.
+func (c *cluster) measured(req request) bool {
+	if c.closed != nil {
+		return req.idx >= c.warmup
+	}
+	return req.arrival >= c.cutoff
+}
 
 // newCluster adopts a validated, arrival-ordered request stream.
 func newCluster(cfg Config, stream []workload.Request, warmup int) *cluster {
@@ -207,6 +244,37 @@ func newCluster(cfg Config, stream []workload.Request, warmup int) *cluster {
 	// utilization, decode telemetry — applies this one cutoff.
 	if warmup < len(c.reqs) {
 		c.cutoff = c.reqs[warmup].arrival
+	}
+	return c
+}
+
+// newClosedCluster adopts a closed-loop session: the validated initial
+// wave seeds the request slice (which grows as completions trigger new
+// issues, up to the session's n budget) and the warmup cutoff timestamp
+// stays +Inf until the warmup-th request is actually issued.
+func newClosedCluster(cfg Config, sess workload.Session, init []workload.Issue, n, warmup int) *cluster {
+	c := &cluster{cfg: cfg, warmup: warmup, closed: sess, closedN: n, initIssues: init}
+	c.reqs = make([]request, 0, n)
+	c.cutoff = math.Inf(1)
+	maxTenant := 0
+	// The wave covers every client that will ever issue (a client's later
+	// requests come only through its own completions), so the stream-shape
+	// flags derived here are exact even though most requests don't exist
+	// yet; issueReq still re-checks to stay safe against other Session
+	// implementations.
+	for _, iss := range init {
+		if iss.Req.Tenant != 0 {
+			c.multiTenant = true
+		}
+		if iss.Req.Tenant > maxTenant {
+			maxTenant = iss.Req.Tenant
+		}
+		if iss.Req.DecodeTokens > 0 {
+			c.hasDecode = true
+		}
+	}
+	if c.multiTenant {
+		c.tenants = make([]*tenantAcc, maxTenant+1)
 	}
 	return c
 }
@@ -243,6 +311,15 @@ func (c *cluster) run() Result {
 	c.policy = cfg.policy()
 	c.budget = c.policy.PrefillBudget()
 	c.schedOn = cfg.schedMetrics()
+	c.sloSched = cfg.Sched == SchedSLO
+	c.sloOn = cfg.sloOn()
+	c.sloTTFT, c.sloTBT = cfg.SLOTTFT, cfg.SLOTBT
+	c.starve = cfg.starveLimit()
+	if c.sloSched {
+		// One closure for the whole run: every min-pop orders the queue at
+		// the popping replica's current virtual time.
+		c.sloCmp = func(a, b request) bool { return c.sloLess(a, b, c.clock.Now()) }
+	}
 	c.prefetchOn = cfg.prefetchOn()
 	c.routerOn = cfg.routerOn()
 	c.isRouted = cfg.routed()
@@ -281,7 +358,13 @@ func (c *cluster) run() Result {
 		c.queues[i] = sim.NewQueue[request](c.clock)
 	}
 	c.busy = make([]float64, cfg.replicas())
-	c.admitted = make([]bool, len(c.reqs))
+	if c.closed != nil {
+		// The request slice grows as the session issues; size the
+		// idx-keyed state from the budget instead.
+		c.admitted = make([]bool, c.closedN)
+	} else {
+		c.admitted = make([]bool, len(c.reqs))
+	}
 	c.dead = make([]bool, cfg.replicas())
 	c.eventsOn = cfg.hasEvents()
 	c.firstKill = -1
@@ -305,12 +388,17 @@ func (c *cluster) run() Result {
 
 	// Preallocate the metric slices from the stream: one TTFT/E2E per
 	// measured request, one TBT per measured decode token. Appends in the
-	// hot loop then never grow the backing arrays.
+	// hot loop then never grow the backing arrays. A closed-loop stream's
+	// decode budgets aren't known yet, so its TBT slice grows on demand.
 	measuredN, tbtN := 0, 0
-	for i := range c.reqs {
-		if c.reqs[i].arrival >= c.cutoff {
-			measuredN++
-			tbtN += c.reqs[i].decode
+	if c.closed != nil {
+		measuredN = c.closedN - c.warmup
+	} else {
+		for i := range c.reqs {
+			if c.reqs[i].arrival >= c.cutoff {
+				measuredN++
+				tbtN += c.reqs[i].decode
+			}
 		}
 	}
 	c.ttfts = make([]float64, 0, measuredN)
@@ -329,31 +417,43 @@ func (c *cluster) run() Result {
 	// order: request arrivals and membership events. An event tying an
 	// arrival's timestamp applies first, so the arrival routes against
 	// the post-event replica set. With no events this is exactly the
-	// legacy arrivals process.
-	c.clock.Go("arrivals", func(p *sim.Proc) {
-		events := cfg.Events
-		ei := 0
-		for _, r := range c.reqs {
-			for ei < len(events) && events[ei].At <= r.arrival {
+	// legacy arrivals process. A closed-loop run only walks the initial
+	// wave here — every later arrival is issued by the completion hook in
+	// retire, on a process of its own (and membership events are rejected
+	// up front in runClosedLoop).
+	if c.closed != nil {
+		c.clock.Go("arrivals", func(p *sim.Proc) {
+			for _, iss := range c.initIssues {
+				p.SleepUntil(iss.Req.Arrival)
+				c.issueReq(iss, p.Now())
+			}
+		})
+	} else {
+		c.clock.Go("arrivals", func(p *sim.Proc) {
+			events := cfg.Events
+			ei := 0
+			for _, r := range c.reqs {
+				for ei < len(events) && events[ei].At <= r.arrival {
+					p.SleepUntil(events[ei].At)
+					c.applyEvent(p, events[ei])
+					ei++
+				}
+				p.SleepUntil(r.arrival)
+				c.dispatch(r, p.Now())
+			}
+			for ei < len(events) {
 				p.SleepUntil(events[ei].At)
 				c.applyEvent(p, events[ei])
 				ei++
 			}
-			p.SleepUntil(r.arrival)
-			c.dispatch(r, p.Now())
-		}
-		for ei < len(events) {
-			p.SleepUntil(events[ei].At)
-			c.applyEvent(p, events[ei])
-			ei++
-		}
-		for _, q := range c.queues {
-			q.Close()
-		}
-		for _, q := range c.pfQueues {
-			q.Close()
-		}
-	})
+			for _, q := range c.queues {
+				q.Close()
+			}
+			for _, q := range c.pfQueues {
+				q.Close()
+			}
+		})
+	}
 	for r := 0; r < cfg.replicas(); r++ {
 		r := r
 		c.clock.Go(fmt.Sprintf("replica-%d", r), func(p *sim.Proc) {
@@ -431,6 +531,21 @@ func (c *cluster) run() Result {
 		res.StallTime = c.stallTime
 		res.MeanPrefillDelay = metrics.Mean(c.prefillDelays)
 		res.P95PrefillDelay = metrics.Percentile(c.prefillDelays, 95)
+	}
+	if c.sloOn {
+		if c.completed > 0 {
+			res.SLOAttainment = float64(c.sloOK) / float64(c.completed)
+			if cfg.SLOTTFT > 0 {
+				res.SLOTTFTAttainment = float64(c.sloTTFTOK) / float64(c.completed)
+			}
+			if cfg.SLOTBT > 0 {
+				res.SLOTBTAttainment = float64(c.sloTBTOK) / float64(c.completed)
+			}
+		}
+		res.SLOViolations = int64(c.completed) - c.sloOK
+		if window > 0 {
+			res.Goodput = float64(c.sloOK) / window
+		}
 	}
 	if c.prefetchOn {
 		var joins int64
@@ -511,19 +626,61 @@ func (c *cluster) tenantUsage() []TenantUsage {
 			continue // tenant never recorded a measured sample
 		}
 		out = append(out, TenantUsage{
-			Tenant:       id,
-			Requests:     len(acc.ttfts),
-			MeanTTFT:     metrics.Mean(acc.ttfts),
-			P95TTFT:      metrics.Percentile(acc.ttfts, 95),
-			HitRate:      metrics.Ratio(acc.hits, acc.lookups),
-			Lookups:      acc.lookups,
-			MeanTBT:      metrics.Mean(acc.tbts),
-			P95TBT:       metrics.Percentile(acc.tbts, 95),
-			MeanE2E:      metrics.Mean(acc.e2es),
-			OutputTokens: acc.outTokens,
+			Tenant:        id,
+			Requests:      len(acc.ttfts),
+			MeanTTFT:      metrics.Mean(acc.ttfts),
+			P95TTFT:       metrics.Percentile(acc.ttfts, 95),
+			HitRate:       metrics.Ratio(acc.hits, acc.lookups),
+			Lookups:       acc.lookups,
+			MeanTBT:       metrics.Mean(acc.tbts),
+			P95TBT:        metrics.Percentile(acc.tbts, 95),
+			MeanE2E:       metrics.Mean(acc.e2es),
+			OutputTokens:  acc.outTokens,
+			SLOAttainment: metrics.Ratio(acc.sloMet, acc.sloDone),
 		})
 	}
 	return out
+}
+
+// issueReq materialises one closed-loop issue as the next request and
+// dispatches it; the nth (budget-exhausting) dispatch closes the
+// admission and loader queues, ending the run once in-flight work
+// drains. Every arrival passes through here exactly once — from the
+// arrivals process for the initial wave, from a per-issue client process
+// afterwards — and both sleep to the issue's arrival first, so requests
+// are dispatched in nondecreasing virtual-time order like an open-loop
+// stream.
+func (c *cluster) issueReq(iss workload.Issue, now float64) {
+	idx := len(c.reqs)
+	if idx >= c.closedN {
+		panic(fmt.Sprintf("serve: closed-loop session issued request %d past its budget %d", idx, c.closedN))
+	}
+	r := request{idx: idx, arrival: iss.Req.Arrival, tenant: iss.Req.Tenant,
+		ids: iss.Req.Chunks, decode: iss.Req.DecodeTokens, client: iss.Client}
+	c.reqs = append(c.reqs, r)
+	// Defensive against Session implementations whose later issues
+	// broaden the stream beyond the initial wave (ClosedLoop's cannot).
+	if r.tenant != 0 {
+		c.multiTenant = true
+	}
+	if r.decode > 0 {
+		c.hasDecode = true
+	}
+	if idx == c.warmup {
+		// The warmup period ends here: interval metrics (step telemetry,
+		// utilization, throughput windows) cut at this timestamp, matching
+		// the idx-based per-request rule.
+		c.cutoff = r.arrival
+	}
+	c.dispatch(r, now)
+	if len(c.reqs) == c.closedN {
+		for _, q := range c.queues {
+			q.Close()
+		}
+		for _, q := range c.pfQueues {
+			q.Close()
+		}
+	}
 }
 
 // dispatch routes one arriving request and hands it to its node: queue
@@ -585,8 +742,15 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 	for {
 		if len(batch) == 0 {
 			// Idle: block on the admission queue. Policies only gate
-			// top-ups — an empty replica always takes the next request.
-			req, ok := queue.Pop(p)
+			// top-ups — an empty replica always takes the next request
+			// (the slo policy takes the most deadline-urgent one).
+			var req request
+			var ok bool
+			if c.sloSched {
+				req, ok = queue.PopMin(p, c.sloCmp)
+			} else {
+				req, ok = queue.Pop(p)
+			}
 			if !ok {
 				return // queue closed and drained, batch empty — done
 			}
@@ -628,7 +792,13 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 		}
 		admitted := 0
 		for admitted < quota {
-			req, ok := queue.TryPop()
+			var req request
+			var ok bool
+			if c.sloSched {
+				req, ok = queue.TryPopMin(c.sloCmp)
+			} else {
+				req, ok = queue.TryPop()
+			}
 			if !ok {
 				break
 			}
@@ -644,7 +814,7 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 		// member paces the step, each extra sequence adds the marginal
 		// batching cost of the step's phase mix; budgeted policies bound
 		// the prefill tokens the step may spend.
-		step, stall := c.planStep(batch)
+		step, stall := c.planStep(batch, p.Now())
 		p.Sleep(step)
 		now := p.Now()
 		c.observeStep(batch, step, stall, now, r)
@@ -698,11 +868,18 @@ func (c *cluster) replica(p *sim.Proc, r int) {
 // planStep prices the batch's next step under the active policy and
 // reports its decoder-seconds of stall. Whole-chunk policies price with
 // stepTime (the legacy model, bit for bit); a budgeted policy allocates
-// the step's prefill token slices first and prices the bounded slice
-// with the engine's chunked mixed-step model.
-func (c *cluster) planStep(batch []*member) (step, stall float64) {
+// the step's prefill token slices first — in SLO order at the boundary
+// time under the slo policy, admission order otherwise — and prices the
+// bounded slice with the engine's chunked mixed-step model.
+func (c *cluster) planStep(batch []*member, now float64) (step, stall float64) {
 	if c.budget > 0 {
-		prefillers, decoders, longest := allocPrefill(batch, c.budget)
+		var prefillers, decoders int
+		var longest float64
+		if c.sloSched {
+			prefillers, decoders, longest = c.allocPrefillSLO(batch, c.budget, now)
+		} else {
+			prefillers, decoders, longest = allocPrefill(batch, c.budget)
+		}
 		if prefillers == 0 {
 			return engine.DecodeStepTime(c.decodeUnit, len(batch), c.cfg.decodeOverhead()), 0
 		}
@@ -877,6 +1054,12 @@ func (c *cluster) observeStep(batch []*member, step, stall, now float64, r int) 
 // node's store for requests that will keep generating.
 func (c *cluster) firstToken(m *member, now float64) {
 	m.lastToken = now
+	if c.sloOn || c.sloSched {
+		// Realised TTFT rides on the member for retirement-time SLO
+		// evaluation — kept for every request, warmup included, because
+		// the scheduler's tenant-risk signal wants the whole run.
+		m.ttft = now - m.req.arrival
+	}
 	if m.req.decode > 0 {
 		m.genBytes = c.tokenBytes
 		*m.genPayload = kvstore.Bytes(m.genBytes)
@@ -905,6 +1088,9 @@ func (c *cluster) token(m *member, now float64) {
 	m.genBytes += c.tokenBytes
 	*m.genPayload = kvstore.Bytes(m.genBytes)
 	c.stores[m.si].Put(m.genKey, m.genPayload) //nolint:errcheck
+	if c.sloOn || c.sloSched {
+		m.tbtSum += now - m.lastToken
+	}
 	if c.measured(m.req) {
 		tbt := now - m.lastToken
 		c.tbts = append(c.tbts, tbt)
@@ -925,6 +1111,22 @@ func (c *cluster) retire(m *member, now float64) {
 	}
 	if c.inflight != nil {
 		c.inflight[m.si]--
+	}
+	if c.sloOn || c.sloSched {
+		c.sloOutcome(m)
+	}
+	if c.closed != nil {
+		// Completion feedback: the issuing client thinks, then issues its
+		// next request on a short-lived process of its own (mid-run Go is
+		// the membership-join machinery, reused). The session guarantees
+		// the next arrival is strictly after now, so the sleep is real and
+		// the dispatch order stays nondecreasing in time.
+		if iss, ok := c.closed.Complete(m.req.client, now); ok {
+			c.clock.Go(fmt.Sprintf("client-%d", iss.Client), func(p *sim.Proc) {
+				p.SleepUntil(iss.Req.Arrival)
+				c.issueReq(iss, p.Now())
+			})
+		}
 	}
 	if !c.measured(m.req) {
 		return
@@ -950,10 +1152,51 @@ func (c *cluster) retire(m *member, now float64) {
 	}
 }
 
+// sloOutcome evaluates a completed request against the configured
+// targets: it always feeds the scheduler's per-tenant risk signal (every
+// completion, warmup included), and accumulates the reported attainment
+// telemetry for measured completions when the telemetry is on. A request
+// meets its SLO iff its TTFT is within SLOTTFT (when set) and its mean
+// TBT is within SLOTBT (when set; prefill-only requests satisfy TBT
+// trivially).
+func (c *cluster) sloOutcome(m *member) {
+	ttftOK := c.sloTTFT <= 0 || m.ttft <= c.sloTTFT
+	tbtOK := c.sloTBT <= 0 || m.req.decode == 0 ||
+		m.tbtSum/float64(m.req.decode) <= c.sloTBT
+	met := ttftOK && tbtOK
+	if c.sloSched {
+		c.bumpRisk(m.req.tenant, met)
+	}
+	if !c.sloOn || !c.measured(m.req) {
+		return
+	}
+	if ttftOK {
+		c.sloTTFTOK++
+	}
+	if tbtOK {
+		c.sloTBTOK++
+	}
+	if met {
+		c.sloOK++
+	}
+	if m.acc != nil {
+		m.acc.sloDone++
+		if met {
+			m.acc.sloMet++
+		}
+	}
+}
+
 // acc returns (allocating if needed) the tenant's accumulator. The dense
-// slice is sized from the stream's maximum tenant id in newCluster, so
-// the index is always in range.
+// slice is sized from the stream's maximum tenant id in newCluster (or a
+// closed-loop run's initial wave — grown here should a session broaden
+// its tenant set mid-run).
 func (c *cluster) acc(tenant int) *tenantAcc {
+	if tenant >= len(c.tenants) {
+		grown := make([]*tenantAcc, tenant+1)
+		copy(grown, c.tenants)
+		c.tenants = grown
+	}
 	a := c.tenants[tenant]
 	if a == nil {
 		a = &tenantAcc{}

@@ -26,6 +26,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/baselines"
 	"repro/internal/chunk"
@@ -114,9 +115,27 @@ type Config struct {
 	// StarveLimit bounds SchedDecodePriority's deferral: after this
 	// many consecutive step boundaries where admission was deferred
 	// while work waited, the replica admits one request regardless, so
-	// prefill delay stays finite at overload. 0 uses the default 8;
+	// prefill delay stays finite at overload. Under SchedSLO it is the
+	// aging bound instead: a request waiting longer than
+	// StarveLimit×SLOTTFT jumps to the front of the admission order, so
+	// deprioritised late requests can't starve. 0 uses the default 8;
 	// setting it with any other policy is a validation error.
 	StarveLimit int
+	// SLOTTFT is the per-request TTFT target in seconds: a request meets
+	// its SLO only if its first token arrives within SLOTTFT of its
+	// arrival. Required (> 0) by SchedSLO, whose admission order is
+	// deadline-aware against this target; with any other explicit policy
+	// it only turns on the SLO attainment/goodput telemetry in Result, so
+	// sweeps can measure fifo or chunked-prefill against the same
+	// targets. Setting it without an explicit Config.Sched is a
+	// validation error (the legacy default stays byte-identical).
+	SLOTTFT float64
+	// SLOTBT is the per-request mean time-between-tokens target in
+	// seconds: a decode-enabled request meets its SLO only if its mean
+	// TBT is within SLOTBT (prefill-only requests satisfy it trivially).
+	// 0 leaves TBT out of the SLO; like SLOTTFT it requires an explicit
+	// scheduling policy.
+	SLOTBT float64
 	// PrefetchPolicy selects the asynchronous tier-prefetch behaviour:
 	// "" (legacy synchronous loading, no prefetch telemetry), PrefetchOff
 	// (same synchronous loading with the telemetry populated — the
@@ -209,6 +228,14 @@ func (c Config) starveLimit() int {
 	return c.StarveLimit
 }
 
+// sloOn reports whether the run populates the SLO attainment telemetry
+// in Result: per-request targets configured alongside an explicit
+// scheduling policy (so legacy Results stay byte-identical, and sweeps
+// can measure any policy — fifo included — against the same targets).
+func (c Config) sloOn() bool {
+	return c.Sched != "" && (c.SLOTTFT > 0 || c.SLOTBT > 0)
+}
+
 // shards returns the effective store shard count.
 func (c Config) shards() int {
 	if c.StoreShards > 0 {
@@ -287,13 +314,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("scheduling policy %q: want %s, %s, %s or %s",
 			c.Sched, SchedFIFO, SchedChunkedPrefill, SchedDecodePriority, SchedSLO)
 	}
-	if c.PrefillBudget > 0 && c.Sched != SchedChunkedPrefill {
-		return fmt.Errorf("prefill budget %d requires the %s policy (got %q)",
-			c.PrefillBudget, SchedChunkedPrefill, c.Sched)
+	if c.PrefillBudget > 0 && c.Sched != SchedChunkedPrefill && c.Sched != SchedSLO {
+		return fmt.Errorf("prefill budget %d requires the %s or %s policy (got %q)",
+			c.PrefillBudget, SchedChunkedPrefill, SchedSLO, c.Sched)
 	}
-	if c.StarveLimit > 0 && c.Sched != SchedDecodePriority {
-		return fmt.Errorf("starve limit %d requires the %s policy (got %q)",
-			c.StarveLimit, SchedDecodePriority, c.Sched)
+	if c.StarveLimit > 0 && c.Sched != SchedDecodePriority && c.Sched != SchedSLO {
+		return fmt.Errorf("starve limit %d requires the %s or %s policy (got %q)",
+			c.StarveLimit, SchedDecodePriority, SchedSLO, c.Sched)
+	}
+	switch {
+	case math.IsNaN(c.SLOTTFT) || math.IsInf(c.SLOTTFT, 0) || c.SLOTTFT < 0:
+		return fmt.Errorf("TTFT SLO target %v: must be finite and non-negative", c.SLOTTFT)
+	case math.IsNaN(c.SLOTBT) || math.IsInf(c.SLOTBT, 0) || c.SLOTBT < 0:
+		return fmt.Errorf("TBT SLO target %v: must be finite and non-negative", c.SLOTBT)
+	}
+	if (c.SLOTTFT > 0 || c.SLOTBT > 0) && c.Sched == "" {
+		return fmt.Errorf("SLO targets require an explicit scheduling policy (set Config.Sched)")
+	}
+	if c.Sched == SchedSLO && c.SLOTTFT <= 0 {
+		return fmt.Errorf("the %s policy requires a TTFT target (set Config.SLOTTFT)", SchedSLO)
 	}
 	if err := c.validatePrefetch(); err != nil {
 		return err
@@ -386,6 +425,28 @@ type Result struct {
 	// admission under decode-priority (bounded by StarveLimit).
 	MeanPrefillDelay float64 `json:",omitempty"`
 	P95PrefillDelay  float64 `json:",omitempty"`
+	// SLO telemetry, populated only when per-request targets
+	// (Config.SLOTTFT/SLOTBT) are configured alongside an explicit
+	// policy (legacy Results stay byte-identical; any policy — fifo
+	// included — measures against the same targets, so SLO sweeps
+	// compare like against like).
+	//
+	// SLOAttainment is the fraction of measured completed requests
+	// meeting every configured target (TTFT ≤ SLOTTFT and mean TBT ≤
+	// SLOTBT); SLOTTFTAttainment/SLOTBTAttainment split it by dimension
+	// (each only when its target is set).
+	SLOAttainment     float64 `json:",omitempty"`
+	SLOTTFTAttainment float64 `json:",omitempty"`
+	SLOTBTAttainment  float64 `json:",omitempty"`
+	// Goodput is the SLO-met completion rate (requests/s over the
+	// measured window) — the throughput that actually counts once
+	// deadlines matter: a scheduler can buy throughput by finishing
+	// hopeless requests ahead of feasible ones, and goodput is what that
+	// trade destroys.
+	Goodput float64 `json:",omitempty"`
+	// SLOViolations counts measured completed requests that missed at
+	// least one configured target.
+	SLOViolations int64 `json:",omitempty"`
 	// Prefetch telemetry, populated only when Config.PrefetchPolicy is
 	// set ("off" included — the synchronous baseline with the telemetry
 	// on, so sweeps compare like against like).
@@ -483,6 +544,11 @@ type TenantUsage struct {
 	P95TBT       float64 `json:",omitempty"`
 	MeanE2E      float64 `json:",omitempty"`
 	OutputTokens int64   `json:",omitempty"`
+	// SLOAttainment is the tenant's fraction of measured completed
+	// requests meeting every configured target — populated only when the
+	// run's SLO telemetry is on (Config.SLOTTFT/SLOTBT with an explicit
+	// policy), zero and omitted otherwise.
+	SLOAttainment float64 `json:",omitempty"`
 }
 
 // TierUsage is one tier's share of a run's KV placement activity.
@@ -540,6 +606,13 @@ func Run(cfg Config, rate float64, n, warmup int, seed int64) Result {
 // instead of panics. Result.Rate is the stream's realised mean arrival
 // rate (so a replayed trace reproduces the generating run's Result field
 // for field). Same cfg, workload and seed ⇒ identical Result.
+//
+// A workload implementing workload.ClosedLoopWorkload is driven in
+// closed loop instead: arrivals come from the workload's Session, fed
+// each request's completion at member retirement, so offered load
+// self-throttles with service quality the way a finite client pool does.
+// Open-loop workloads never hit that path — their runs (goldens
+// included) stay byte-identical.
 func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, fmt.Errorf("serve: %w", err)
@@ -552,6 +625,9 @@ func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Re
 	}
 	if warmup < 0 {
 		return Result{}, fmt.Errorf("serve: warmup = %d: negative", warmup)
+	}
+	if cw, ok := w.(workload.ClosedLoopWorkload); ok {
+		return runClosedLoop(cfg, cw, n, warmup, seed)
 	}
 	reqs := w.Generate(n, seed)
 	if len(reqs) == 0 {
@@ -572,6 +648,46 @@ func RunWorkload(cfg Config, w workload.Workload, n, warmup int, seed int64) (Re
 	res := newCluster(cfg, reqs, warmup).run()
 	if last := reqs[len(reqs)-1].Arrival; last > 0 {
 		res.Rate = float64(len(reqs)) / last
+	}
+	return res, nil
+}
+
+// runClosedLoop drives a closed-loop session: the initial wave (each
+// client's first request) is validated and dispatched like an open-loop
+// stream, and every later arrival is issued by the session when the
+// runtime reports a completion. Result.Rate is the realised arrival rate
+// — under a closed loop it is an output of the run, not an input.
+func runClosedLoop(cfg Config, w workload.ClosedLoopWorkload, n, warmup int, seed int64) (Result, error) {
+	if warmup >= n {
+		return Result{}, fmt.Errorf("serve: warmup %d must be below the run's %d requests", warmup, n)
+	}
+	if cfg.hasEvents() {
+		// A kill re-queues in-flight work with original arrivals — under
+		// feedback-driven arrivals that replay has no meaning yet.
+		return Result{}, fmt.Errorf("serve: membership events are not supported with a closed-loop workload")
+	}
+	sess := w.Session(n, seed)
+	init := sess.Initial()
+	if len(init) == 0 {
+		return Result{}, fmt.Errorf("serve: workload %s yielded no requests", w.Name())
+	}
+	for i, iss := range init {
+		if err := iss.Req.Validate(); err != nil {
+			return Result{}, fmt.Errorf("serve: workload %s: initial request %d: %w", w.Name(), i, err)
+		}
+		if iss.Client < 0 || iss.Client >= sess.Clients() {
+			return Result{}, fmt.Errorf("serve: workload %s: initial request %d from unknown client %d",
+				w.Name(), i, iss.Client)
+		}
+		if i > 0 && iss.Req.Arrival < init[i-1].Req.Arrival {
+			return Result{}, fmt.Errorf("serve: workload %s: initial request %d arrives at %v, before request %d at %v",
+				w.Name(), i, iss.Req.Arrival, i-1, init[i-1].Req.Arrival)
+		}
+	}
+	c := newClosedCluster(cfg, sess, init, n, warmup)
+	res := c.run()
+	if last := c.reqs[len(c.reqs)-1].arrival; last > 0 {
+		res.Rate = float64(len(c.reqs)) / last
 	}
 	return res, nil
 }

@@ -168,6 +168,28 @@ func (r *ring[T]) pop() T {
 	return v
 }
 
+// at returns the i-th queued item (0 = head) without removing it.
+func (r *ring[T]) at(i int) T {
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// removeAt removes and returns the i-th item, preserving the relative
+// order of everything else: the items ahead of i shift back one slot and
+// the head advances. O(i), which stays cheap because callers remove the
+// minimum of a scan that tie-breaks toward the head.
+func (r *ring[T]) removeAt(i int) T {
+	mask := len(r.buf) - 1
+	v := r.buf[(r.head+i)&mask]
+	for j := i; j > 0; j-- {
+		r.buf[(r.head+j)&mask] = r.buf[(r.head+j-1)&mask]
+	}
+	var zero T
+	r.buf[r.head] = zero // release the reference in the vacated slot
+	r.head = (r.head + 1) & mask
+	r.n--
+	return v
+}
+
 func (r *ring[T]) grow() {
 	next := len(r.buf) * 2
 	if next == 0 {
@@ -243,6 +265,42 @@ func (q *Queue[T]) TryPop() (T, bool) {
 func (q *Queue[T]) Pop(p *Proc) (T, bool) {
 	for {
 		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		if q.closed {
+			var zero T
+			return zero, false
+		}
+		q.waiters.push(p)
+		p.park()
+	}
+}
+
+// TryPopMin removes and returns the minimum queued item under less
+// without blocking (ok=false when empty). Ties keep the earliest-pushed
+// item — a less that never orders anything degrades to exact FIFO — so
+// priority consumers stay as deterministic as TryPop.
+func (q *Queue[T]) TryPopMin(less func(a, b T) bool) (T, bool) {
+	var zero T
+	n := q.items.len()
+	if n == 0 {
+		return zero, false
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if less(q.items.at(i), q.items.at(best)) {
+			best = i
+		}
+	}
+	return q.items.removeAt(best), true
+}
+
+// PopMin is the blocking form of TryPopMin: it parks the process like Pop
+// until an item is available, then takes the minimum under less,
+// returning ok=false only once the queue is closed and drained.
+func (q *Queue[T]) PopMin(p *Proc, less func(a, b T) bool) (T, bool) {
+	for {
+		if v, ok := q.TryPopMin(less); ok {
 			return v, true
 		}
 		if q.closed {

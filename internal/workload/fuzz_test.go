@@ -9,6 +9,105 @@ import (
 // it must never panic, and whenever it accepts an input, the encoding
 // must be canonical — encode→decode→encode is byte-stable and the decoded
 // requests survive unchanged.
+// FuzzClosedLoop drives a closed-loop session with arbitrary pool shapes
+// and completion schedules and checks the contract the serving runtime
+// leans on: the session always answers (no deadlock — every Complete
+// either issues or reports the budget spent), per-client arrivals are
+// strictly after the completion that triggered them and strictly
+// increase, no client ever has more than one request outstanding (so a
+// tenant never exceeds its Clients concurrency limit), and exactly n
+// requests are issued in total.
+func FuzzClosedLoop(f *testing.F) {
+	f.Add(int64(1), 3, 4, uint8(20), []byte{0, 1, 2, 3, 4, 5})
+	f.Add(int64(7), 1, 1, uint8(5), []byte{0, 0, 0, 0})
+	f.Add(int64(42), 5, 2, uint8(40), []byte{9, 3, 7, 1, 250})
+	f.Add(int64(-3), 2, 8, uint8(2), []byte{})
+
+	f.Fuzz(func(t *testing.T, seed int64, tenants, clients int, n uint8, picks []byte) {
+		if tenants < 0 || tenants > 8 || clients < 1 || clients > 8 {
+			return
+		}
+		w := ClosedLoop{Tenants: tenants, Clients: clients, Think: 0.5,
+			Chunks: Chunks{Pool: 64, PerRequest: 2, Skew: 0.8}, Decode: Decode{Mean: 4}}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("fuzz workload invalid: %v", err)
+		}
+		sess := w.Session(int(n), seed)
+
+		// outstanding[ci] is the client's in-flight arrival (NaN = idle).
+		outstanding := make([]float64, sess.Clients())
+		last := make([]float64, sess.Clients())
+		for ci := range outstanding {
+			outstanding[ci] = -1
+		}
+		issued := 0
+		note := func(iss Issue) {
+			if iss.Client < 0 || iss.Client >= sess.Clients() {
+				t.Fatalf("issue from client %d of %d", iss.Client, sess.Clients())
+			}
+			if outstanding[iss.Client] >= 0 {
+				t.Fatalf("client %d issued while a request was outstanding: concurrency limit broken", iss.Client)
+			}
+			if iss.Req.Arrival <= last[iss.Client] {
+				t.Fatalf("client %d arrival %v not after %v", iss.Client, iss.Req.Arrival, last[iss.Client])
+			}
+			if err := iss.Req.Validate(); err != nil {
+				t.Fatalf("issued invalid request: %v", err)
+			}
+			outstanding[iss.Client] = iss.Req.Arrival
+			last[iss.Client] = iss.Req.Arrival
+			issued++
+		}
+		for _, iss := range sess.Initial() {
+			note(iss)
+		}
+		now := 0.0
+		// Complete in an arbitrary (fuzzer-chosen) order among in-flight
+		// clients; the session must keep answering regardless.
+		for step := 0; issued < int(n) || anyOutstanding(outstanding); step++ {
+			busy := make([]int, 0, len(outstanding))
+			for ci, a := range outstanding {
+				if a >= 0 {
+					busy = append(busy, ci)
+				}
+			}
+			if len(busy) == 0 {
+				break // budget spent and everything completed
+			}
+			var pick int
+			if len(picks) > 0 {
+				pick = int(picks[step%len(picks)]) % len(busy)
+			}
+			ci := busy[pick]
+			if outstanding[ci] > now {
+				now = outstanding[ci]
+			}
+			now += 0.125 // service time
+			outstanding[ci] = -1
+			if iss, ok := sess.Complete(ci, now); ok {
+				note(iss)
+			} else if issued != int(n) {
+				t.Fatalf("session refused at %d of %d issued", issued, n)
+			}
+		}
+		if issued != int(n) {
+			t.Fatalf("session issued %d requests, budget %d", issued, n)
+		}
+		if _, ok := sess.Complete(0, now+1); ok {
+			t.Fatal("session issued past its budget")
+		}
+	})
+}
+
+func anyOutstanding(outstanding []float64) bool {
+	for _, a := range outstanding {
+		if a >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
 func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"t":0.5,"chunks":[3,0,17]}` + "\n" + `{"t":1.25,"tenant":2,"chunks":[51]}` + "\n"))
 	f.Add([]byte(`{"t":0,"chunks":[0]}`))
